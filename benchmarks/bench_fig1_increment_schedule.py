@@ -1,0 +1,41 @@
+"""Fig. 1(a): the gradual client-increment schedule versus the cliff-style transition.
+
+The paper's Fig. 1(a) is an illustration, not a measurement; this bench
+regenerates the underlying schedule (how many Old / In-between / New clients
+exist at every task) for both the paper's gradual setting (80% transfer,
+clients added per task) and the cliff-style setting of prior FCL work (100%
+transfer, fixed population) and prints the two series.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.federated.increment import ClientIncrementConfig, ClientIncrementSchedule
+
+
+def _traces():
+    gradual = ClientIncrementSchedule(
+        ClientIncrementConfig(initial_clients=10, increment_per_task=2, transfer_fraction=0.8, seed=0)
+    ).schedule_trace(5)
+    cliff = ClientIncrementSchedule(
+        ClientIncrementConfig(initial_clients=10, increment_per_task=0, transfer_fraction=1.0, seed=0)
+    ).schedule_trace(5)
+    return gradual, cliff
+
+
+def test_fig1_increment_schedule(benchmark):
+    gradual, cliff = benchmark.pedantic(_traces, rounds=1, iterations=1)
+    print("\nFig.1(a) gradual transition (RefFiL setting):")
+    for row in gradual:
+        print(f"  task {row['task']}: old={row['old']:2d} in-between={row['in_between']:2d} "
+              f"new={row['new']:2d} total={row['total']:2d}")
+    print("Fig.1(a) cliff transition (prior FCL setting):")
+    for row in cliff:
+        print(f"  task {row['task']}: old={row['old']:2d} in-between={row['in_between']:2d} "
+              f"new={row['new']:2d} total={row['total']:2d}")
+    # Gradual: population grows and a mixture of groups coexists after task 0.
+    assert gradual[-1]["total"] > gradual[0]["total"]
+    assert all(row["old"] > 0 for row in gradual[1:])
+    # Cliff: everyone transitions, nobody stays on old data.
+    assert all(row["old"] == 0 for row in cliff)
+    assert cliff[-1]["total"] == cliff[0]["total"]

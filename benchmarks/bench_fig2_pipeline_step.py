@@ -1,0 +1,55 @@
+"""Fig. 2: per-component cost of one RefFiL client training step.
+
+Fig. 2 is the framework diagram (feature extractor -> CDAP -> L_CE / L_GPL /
+L_DPCL -> upload).  This bench measures the wall-clock cost of one mini-batch
+through that pipeline and of a full client local update, which is the quantity
+a deployment on resource-constrained devices cares about.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import RefFiLConfig, RefFiLMethod
+from repro.datasets.registry import get_dataset_spec
+from repro.datasets.synthetic import generate_domain_split
+from repro.federated.client import ClientHandle, LocalTrainingConfig
+from repro.federated.increment import ClientGroup
+from repro.federated.server import FederatedServer
+from repro.models.backbone import BackboneConfig
+
+
+def _build_step():
+    spec = get_dataset_spec("office_caltech").scaled(
+        train_per_domain=32, test_per_domain=16, num_classes=4
+    )
+    backbone = BackboneConfig(image_size=spec.image_size, num_classes=spec.num_classes,
+                              base_width=8, embed_dim=32, seed=0)
+    method = RefFiLMethod(RefFiLConfig(backbone=backbone, max_tasks=4))
+    model = method.build_model()
+    server = FederatedServer(model)
+    data = generate_domain_split(spec, 0, "train")
+    client = ClientHandle(
+        client_id=0,
+        task_id=0,
+        group=ClientGroup.NEW,
+        dataset=data,
+        rng=np.random.default_rng(0),
+        training=LocalTrainingConfig(local_epochs=1, batch_size=16, learning_rate=0.05),
+    )
+    return method, model, server, client
+
+
+def test_fig2_pipeline_local_update(benchmark):
+    method, model, server, client = _build_step()
+
+    def one_local_update():
+        return method.local_update(model, server.broadcast(), server.broadcast_payload, client)
+
+    update = benchmark.pedantic(one_local_update, rounds=3, iterations=1, warmup_rounds=1)
+    print(f"\nFig.2 pipeline: one client local update over {client.num_samples} samples")
+    print(f"  uploaded state arrays : {len(update.state_dict)}")
+    print(f"  uploaded prompt groups: {len(update.payload['prompt_groups'])}")
+    print(f"  upload size           : {update.upload_bytes() / 1024:.1f} KiB")
+    assert update.num_samples == client.num_samples
+    assert update.payload["prompt_groups"]

@@ -1,0 +1,21 @@
+"""Table I: Avg/Last accuracy of all eight methods on the four datasets (default domain order)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.tables import COMPARED_METHODS, TABLE_DATASETS, table1_summary
+
+
+def test_table1_summary(benchmark, scale):
+    table = run_once(benchmark, lambda: table1_summary(scale=scale))
+    print("\n" + table.to_text())
+    # One row per compared method, two columns (avg/last) per dataset.
+    assert len(table.rows) == len(COMPARED_METHODS)
+    assert len(table.columns) == 2 * len(TABLE_DATASETS)
+    # Reproduction shape target: RefFiL should be at or near the top on Avg.
+    for dataset in TABLE_DATASETS:
+        ranking = sorted(
+            table.column(f"{dataset}:avg").items(), key=lambda item: -item[1]
+        )
+        position = [label for label, _ in ranking].index("RefFiL")
+        print(f"RefFiL rank on {dataset} (avg): {position + 1}/{len(ranking)}")

@@ -1,0 +1,16 @@
+"""Table II: the Table I comparison repeated under the shuffled ("new") domain order."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.tables import COMPARED_METHODS, TABLE_DATASETS, table2_summary
+
+
+def test_table2_domain_order(benchmark, scale):
+    table = run_once(benchmark, lambda: table2_summary(scale=scale))
+    print("\n" + table.to_text())
+    assert len(table.rows) == len(COMPARED_METHODS)
+    assert len(table.columns) == 2 * len(TABLE_DATASETS)
+    # All accuracies must be valid percentages.
+    for values in table.rows.values():
+        assert all(0.0 <= value <= 100.0 for value in values.values())

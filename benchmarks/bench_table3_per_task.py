@@ -1,0 +1,19 @@
+"""Table III: per-learning-step accuracy breakdown on every dataset (default domain order)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.tables import COMPARED_METHODS, TABLE_DATASETS, table3_per_task
+
+
+def test_table3_per_task(benchmark, scale):
+    tables = run_once(benchmark, lambda: table3_per_task(scale=scale))
+    assert set(tables) == set(TABLE_DATASETS)
+    for dataset, table in tables.items():
+        print("\n" + table.to_text())
+        assert len(table.rows) == len(COMPARED_METHODS)
+        # The last step column equals the paper's "Last" metric and the Avg
+        # column is the mean of the step columns.
+        for label, values in table.rows.items():
+            steps = [values[c] for c in table.columns if c != "Avg"]
+            assert abs(sum(steps) / len(steps) - values["Avg"]) < 1e-6

@@ -1,0 +1,18 @@
+"""Table IV: per-learning-step accuracy breakdown under the shuffled domain order."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.datasets.registry import get_alternate_domain_order
+from repro.experiments.tables import COMPARED_METHODS, TABLE_DATASETS, table4_per_task
+
+
+def test_table4_per_task_order(benchmark, scale):
+    tables = run_once(benchmark, lambda: table4_per_task(scale=scale))
+    assert set(tables) == set(TABLE_DATASETS)
+    for dataset, table in tables.items():
+        print("\n" + table.to_text())
+        assert len(table.rows) == len(COMPARED_METHODS)
+        # The step columns must follow the alternate domain order.
+        step_columns = [c for c in table.columns if c != "Avg"]
+        assert tuple(step_columns) == tuple(get_alternate_domain_order(dataset))[: len(step_columns)]

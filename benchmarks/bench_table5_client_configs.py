@@ -1,0 +1,19 @@
+"""Table V: OfficeCaltech10 under four client-selection / task-transfer configurations."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.tables import COMPARED_METHODS, TABLE5_CONFIGS, table5_client_configs
+
+
+def test_table5_client_configs(benchmark, scale):
+    tables = run_once(benchmark, lambda: table5_client_configs(scale=scale))
+    assert set(tables) == {label for label, _, _ in TABLE5_CONFIGS}
+    for label, table in tables.items():
+        print("\n" + table.to_text())
+        assert len(table.rows) == len(COMPARED_METHODS)
+        assert table.columns == ["AVG", "Last", "FGT", "BwT"]
+        for values in table.rows.values():
+            assert 0.0 <= values["AVG"] <= 100.0
+            assert -1.0 <= values["FGT"] <= 1.0
+            assert -1.0 <= values["BwT"] <= 1.0

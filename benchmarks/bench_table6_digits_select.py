@@ -1,0 +1,16 @@
+"""Table VI: Digits-Five with 10 selected clients and 90% task transfer."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.tables import COMPARED_METHODS, table6_digits_selection
+
+
+def test_table6_digits_selection(benchmark, scale):
+    table = run_once(benchmark, lambda: table6_digits_selection(scale=scale))
+    print("\n" + table.to_text())
+    assert len(table.rows) == len(COMPARED_METHODS)
+    assert table.columns == ["AVG", "Last", "FGT", "BwT"]
+    # Shape target: RefFiL should not have the worst forgetting of all methods.
+    forgetting = table.column("FGT")
+    assert forgetting["RefFiL"] <= max(forgetting.values())

@@ -1,0 +1,21 @@
+"""Table VII: ablation of the CDAP / GPL / DPCL components on OfficeCaltech10."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.tables import TABLE7_ROWS, table7_ablation
+
+
+def test_table7_ablation(benchmark, scale):
+    table = run_once(benchmark, lambda: table7_ablation(scale=scale))
+    print("\n" + table.to_text())
+    assert len(table.rows) == len(TABLE7_ROWS)
+    # The baseline row has zero deltas by construction.
+    baseline_label = TABLE7_ROWS[0][0]
+    assert table.value(baseline_label, "dAvg") == 0.0
+    # Shape target: the full method should improve over the plain baseline.
+    full_label = TABLE7_ROWS[-1][0]
+    print(
+        f"full RefFiL vs baseline: dAvg={table.value(full_label, 'dAvg'):+.2f}, "
+        f"dLast={table.value(full_label, 'dLast'):+.2f}"
+    )

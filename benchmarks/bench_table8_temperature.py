@@ -1,0 +1,18 @@
+"""Table VIII: sensitivity of RefFiL to the DPCL temperature-decay hyper-parameters."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.tables import TABLE8_CONFIGS, table8_temperature_sensitivity
+
+
+def test_table8_temperature_sensitivity(benchmark, scale):
+    table = run_once(benchmark, lambda: table8_temperature_sensitivity(scale=scale))
+    print("\n" + table.to_text())
+    assert len(table.rows) == len(TABLE8_CONFIGS)
+    # The decayed temperature of the paper's default row is 0.72 (Eq. 10).
+    assert table.value("ours", "tau3") == pytest.approx(0.72)
+    # The w/o-decay row keeps the base temperature.
+    assert table.value("w/o tau'", "tau3") == pytest.approx(0.9)

@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench regenerates one table or figure of the paper at the scale selected
+by the ``REPRO_SCALE`` environment variable (default ``tiny``).  Training runs
+are memoised by :mod:`repro.experiments.runner`, so benches that are different
+views of the same runs (Table I vs Table III) only pay for them once per
+session.  Benches execute their workload exactly once (``rounds=1``): the
+quantity being "benchmarked" is the wall-clock cost of regenerating the
+table, and the printed output is the table itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import get_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return get_scale()
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The sandboxed reproduction environment has no ``wheel`` package, so PEP 660
+editable installs (``pip install -e .``) cannot build the editable wheel.
+``python setup.py develop`` (or the provided ``scripts/install_editable.sh``)
+installs the package in editable mode without needing ``wheel``.
+"""
+
+from setuptools import setup
+
+setup()

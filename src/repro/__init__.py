@@ -1,0 +1,32 @@
+"""RefFiL reproduction: Rehearsal-free Federated Domain-incremental Learning.
+
+This package is a from-scratch, numpy-based reproduction of the ICDCS 2025
+paper *"Rehearsal-free Federated Domain-incremental Learning"* (RefFiL),
+including every substrate the paper depends on:
+
+* :mod:`repro.autograd` / :mod:`repro.nn` -- a reverse-mode autodiff engine
+  and neural-network layer zoo (conv nets, attention, SGD) standing in for
+  PyTorch.
+* :mod:`repro.models` -- the ResNet10 feature extractor, frozen patch
+  tokenizer, attention block and prompt-aware classifier backbone.
+* :mod:`repro.datasets` -- procedural domain-shift datasets mirroring
+  Digits-Five, OfficeCaltech10, PACS and FedDomainNet, plus non-iid
+  quantity-shift partitioning.
+* :mod:`repro.federated` -- FedAvg clients/server, client sampling and the
+  paper's client-increment strategy (old / in-between / new groups).
+* :mod:`repro.continual` -- domain-incremental task scenarios and the
+  Avg / Last / Forgetting / Backward-Transfer metrics.
+* :mod:`repro.clustering` -- the FINCH first-neighbour clustering algorithm
+  used for global prompt clustering.
+* :mod:`repro.core` -- the RefFiL contribution: the CDAP prompt generator,
+  global prompt sharing and clustering, the GPL loss and the DPCL contrastive
+  loss with temperature decay.
+* :mod:`repro.baselines` -- Finetune, FedLwF, FedEWC, FedL2P(+pool) and
+  FedDualPrompt(+pool).
+* :mod:`repro.experiments` -- the harness that regenerates every table of the
+  paper's evaluation section.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

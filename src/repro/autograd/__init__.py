@@ -1,0 +1,22 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This subpackage is the numerical substrate of the whole reproduction: the
+paper's implementation relies on PyTorch, which is not available in this
+environment, so ``repro.autograd`` provides a small but complete tape-based
+autodiff engine with the operations needed by the RefFiL pipeline
+(convolutions, attention, normalisation, contrastive and cross-entropy
+losses).
+
+Public entry points:
+
+* :class:`repro.autograd.tensor.Tensor` -- the differentiable array type.
+* :mod:`repro.autograd.functional` -- neural-network functionals
+  (relu, softmax, cross_entropy, conv2d, cosine_similarity, ...).
+* :func:`repro.autograd.grad_check.numerical_gradient` -- finite-difference
+  gradient checking used by the test-suite.
+"""
+
+from repro.autograd.tensor import Tensor, no_grad, is_grad_enabled
+from repro.autograd import functional
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "functional"]

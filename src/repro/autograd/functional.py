@@ -1,0 +1,372 @@
+"""Neural-network functionals built on :class:`repro.autograd.tensor.Tensor`.
+
+These free functions are the building blocks used by :mod:`repro.nn` layers
+and by the RefFiL losses (cross-entropy, the GPL loss, the DPCL contrastive
+loss).  Convolution and pooling are implemented as primitive operations with
+hand-written backward passes (im2col / col2im) because expressing them through
+elementary indexing ops would be prohibitively slow in pure Python.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+IntOrPair = Union[int, Tuple[int, int]]
+
+
+def _pair(value: IntOrPair) -> Tuple[int, int]:
+    if isinstance(value, tuple):
+        return value
+    return (int(value), int(value))
+
+
+# --------------------------------------------------------------------------- #
+# Activations
+# --------------------------------------------------------------------------- #
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    return x.relu()
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian error linear unit (tanh approximation)."""
+    inner = (x + x * x * x * 0.044715) * 0.7978845608028654
+    return x * 0.5 * (inner.tanh() + 1.0)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return x.sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+# --------------------------------------------------------------------------- #
+# Linear algebra helpers
+# --------------------------------------------------------------------------- #
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine transform ``x @ weight.T + bias`` (PyTorch convention)."""
+    out = x @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def l2_normalize(x: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
+    """Normalise ``x`` to unit L2 norm along ``axis``."""
+    norm = (x * x).sum(axis=axis, keepdims=True).sqrt()
+    return x / (norm + eps)
+
+
+def cosine_similarity(a: Tensor, b: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
+    """Cosine similarity between ``a`` and ``b`` along ``axis``."""
+    a_norm = l2_normalize(a, axis=axis, eps=eps)
+    b_norm = l2_normalize(b, axis=axis, eps=eps)
+    return (a_norm * b_norm).sum(axis=axis)
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout; identity when not training or ``p == 0``."""
+    if not training or p <= 0.0:
+        return x
+    generator = rng if rng is not None else np.random.default_rng()
+    mask = (generator.random(x.shape) >= p).astype(x.dtype) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+# --------------------------------------------------------------------------- #
+# Normalisation
+# --------------------------------------------------------------------------- #
+def layer_norm(
+    x: Tensor,
+    weight: Optional[Tensor] = None,
+    bias: Optional[Tensor] = None,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Layer normalisation over the last dimension."""
+    mean = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    normed = (x - mean) / (var + eps).sqrt()
+    if weight is not None:
+        normed = normed * weight
+    if bias is not None:
+        normed = normed + bias
+    return normed
+
+
+def batch_norm_2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    training: bool,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Batch normalisation for ``(N, C, H, W)`` inputs.
+
+    ``running_mean`` / ``running_var`` are plain numpy buffers that are
+    updated in place when ``training`` is true.
+    """
+    if training:
+        mean = x.mean(axis=(0, 2, 3), keepdims=True)
+        var = x.var(axis=(0, 2, 3), keepdims=True)
+        running_mean *= 1.0 - momentum
+        running_mean += momentum * mean.data.reshape(-1)
+        running_var *= 1.0 - momentum
+        running_var += momentum * var.data.reshape(-1)
+    else:
+        mean = Tensor(running_mean.reshape(1, -1, 1, 1))
+        var = Tensor(running_var.reshape(1, -1, 1, 1))
+    normed = (x - mean) / (var + eps).sqrt()
+    return normed * weight.reshape(1, -1, 1, 1) + bias.reshape(1, -1, 1, 1)
+
+
+# --------------------------------------------------------------------------- #
+# Convolution / pooling (primitive ops with custom backward)
+# --------------------------------------------------------------------------- #
+def _im2col(
+    x: np.ndarray, kernel: Tuple[int, int], stride: Tuple[int, int], padding: Tuple[int, int]
+) -> Tuple[np.ndarray, int, int]:
+    """Unfold ``(N, C, H, W)`` into ``(N, C*kh*kw, out_h*out_w)`` columns."""
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    out_h = (h + 2 * ph - kh) // sh + 1
+    out_w = (w + 2 * pw - kw) // sw + 1
+    padded = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)), mode="constant")
+    cols = np.empty((n, c, kh, kw, out_h, out_w), dtype=x.dtype)
+    for i in range(kh):
+        i_max = i + sh * out_h
+        for j in range(kw):
+            j_max = j + sw * out_w
+            cols[:, :, i, j, :, :] = padded[:, :, i:i_max:sh, j:j_max:sw]
+    return cols.reshape(n, c * kh * kw, out_h * out_w), out_h, out_w
+
+
+def _col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+    out_h: int,
+    out_w: int,
+) -> np.ndarray:
+    """Fold columns back into an image, accumulating overlaps (conv backward)."""
+    n, c, h, w = x_shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    padded = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=cols.dtype)
+    cols = cols.reshape(n, c, kh, kw, out_h, out_w)
+    for i in range(kh):
+        i_max = i + sh * out_h
+        for j in range(kw):
+            j_max = j + sw * out_w
+            padded[:, :, i:i_max:sh, j:j_max:sw] += cols[:, :, i, j, :, :]
+    if ph == 0 and pw == 0:
+        return padded
+    return padded[:, :, ph : ph + h, pw : pw + w]
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: IntOrPair = 1,
+    padding: IntOrPair = 0,
+) -> Tensor:
+    """2-D convolution over ``(N, C_in, H, W)`` with ``(C_out, C_in, kh, kw)`` weights."""
+    stride_pair = _pair(stride)
+    padding_pair = _pair(padding)
+    n = x.shape[0]
+    c_out, c_in, kh, kw = weight.shape
+    if x.shape[1] != c_in:
+        raise ValueError(
+            f"conv2d channel mismatch: input has {x.shape[1]} channels, weight expects {c_in}"
+        )
+    cols, out_h, out_w = _im2col(x.data, (kh, kw), stride_pair, padding_pair)
+    w_mat = weight.data.reshape(c_out, -1)
+    # matmul broadcasts (c_out, f) @ (n, f, l) -> (n, c_out, l) and dispatches to BLAS.
+    out = np.matmul(w_mat, cols)
+    out = out.reshape(n, c_out, out_h, out_w)
+    if bias is not None:
+        out = out + bias.data.reshape(1, -1, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        grad_mat = grad.reshape(n, c_out, out_h * out_w)
+        if weight.requires_grad:
+            grad_w = np.matmul(grad_mat, cols.transpose(0, 2, 1)).sum(axis=0)
+            weight._send_grad(grad_w.reshape(weight.shape))
+        if bias is not None and bias.requires_grad:
+            bias._send_grad(grad.sum(axis=(0, 2, 3)))
+        if x.requires_grad:
+            grad_cols = np.matmul(w_mat.T, grad_mat)
+            grad_x = _col2im(
+                grad_cols, x.shape, (kh, kw), stride_pair, padding_pair, out_h, out_w
+            )
+            x._send_grad(grad_x)
+
+    return Tensor._result(out, parents, backward)
+
+
+def max_pool2d(x: Tensor, kernel_size: IntOrPair, stride: Optional[IntOrPair] = None) -> Tensor:
+    """Max pooling over ``(N, C, H, W)``."""
+    kh, kw = _pair(kernel_size)
+    sh, sw = _pair(stride) if stride is not None else (kh, kw)
+    n, c, h, w = x.shape
+    out_h = (h - kh) // sh + 1
+    out_w = (w - kw) // sw + 1
+    cols, _, _ = _im2col(x.data, (kh, kw), (sh, sw), (0, 0))
+    cols = cols.reshape(n, c, kh * kw, out_h * out_w)
+    argmax = cols.argmax(axis=2)
+    out = np.take_along_axis(cols, argmax[:, :, None, :], axis=2).squeeze(2)
+    out = out.reshape(n, c, out_h, out_w)
+
+    def backward(grad: np.ndarray) -> None:
+        grad_flat = grad.reshape(n, c, out_h * out_w)
+        grad_cols = np.zeros((n, c, kh * kw, out_h * out_w), dtype=grad.dtype)
+        np.put_along_axis(grad_cols, argmax[:, :, None, :], grad_flat[:, :, None, :], axis=2)
+        grad_cols = grad_cols.reshape(n, c * kh * kw, out_h * out_w)
+        grad_x = _col2im(grad_cols, x.shape, (kh, kw), (sh, sw), (0, 0), out_h, out_w)
+        x._send_grad(grad_x)
+
+    return Tensor._result(out, (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel_size: IntOrPair, stride: Optional[IntOrPair] = None) -> Tensor:
+    """Average pooling over ``(N, C, H, W)``."""
+    kh, kw = _pair(kernel_size)
+    sh, sw = _pair(stride) if stride is not None else (kh, kw)
+    n, c, h, w = x.shape
+    out_h = (h - kh) // sh + 1
+    out_w = (w - kw) // sw + 1
+    cols, _, _ = _im2col(x.data, (kh, kw), (sh, sw), (0, 0))
+    cols = cols.reshape(n, c, kh * kw, out_h * out_w)
+    out = cols.mean(axis=2).reshape(n, c, out_h, out_w)
+
+    def backward(grad: np.ndarray) -> None:
+        grad_flat = grad.reshape(n, c, 1, out_h * out_w) / (kh * kw)
+        grad_cols = np.broadcast_to(grad_flat, (n, c, kh * kw, out_h * out_w)).copy()
+        grad_cols = grad_cols.reshape(n, c * kh * kw, out_h * out_w)
+        grad_x = _col2im(grad_cols, x.shape, (kh, kw), (sh, sw), (0, 0), out_h, out_w)
+        x._send_grad(grad_x)
+
+    return Tensor._result(out, (x,), backward)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Global average pooling: ``(N, C, H, W) -> (N, C)``."""
+    return x.mean(axis=(2, 3))
+
+
+# --------------------------------------------------------------------------- #
+# Losses
+# --------------------------------------------------------------------------- #
+def nll_loss(log_probs: Tensor, targets: np.ndarray, reduction: str = "mean") -> Tensor:
+    """Negative log-likelihood of integer ``targets`` under ``log_probs``."""
+    targets = np.asarray(targets, dtype=np.int64)
+    n = log_probs.shape[0]
+    picked = log_probs[np.arange(n), targets]
+    loss = -picked
+    if reduction == "mean":
+        return loss.mean()
+    if reduction == "sum":
+        return loss.sum()
+    if reduction == "none":
+        return loss
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray, reduction: str = "mean") -> Tensor:
+    """Cross-entropy between ``logits`` and integer class ``targets``."""
+    return nll_loss(log_softmax(logits, axis=-1), targets, reduction=reduction)
+
+
+def soft_cross_entropy(logits: Tensor, soft_targets: Tensor, reduction: str = "mean") -> Tensor:
+    """Cross-entropy against a probability distribution (used by LwF distillation)."""
+    log_probs = log_softmax(logits, axis=-1)
+    loss = -(soft_targets * log_probs).sum(axis=-1)
+    if reduction == "mean":
+        return loss.mean()
+    if reduction == "sum":
+        return loss.sum()
+    return loss
+
+
+def knowledge_distillation_loss(
+    student_logits: Tensor, teacher_logits: Tensor, temperature: float = 2.0
+) -> Tensor:
+    """Hinton-style KD loss used by FedLwF.
+
+    The teacher distribution is detached; the loss is scaled by ``T**2`` as is
+    conventional so gradient magnitudes stay comparable across temperatures.
+    """
+    teacher_probs = softmax(teacher_logits.detach() / temperature, axis=-1)
+    return soft_cross_entropy(student_logits / temperature, teacher_probs) * (temperature ** 2)
+
+
+def mse_loss(prediction: Tensor, target: Tensor, reduction: str = "mean") -> Tensor:
+    """Mean squared error."""
+    diff = prediction - target
+    loss = diff * diff
+    if reduction == "mean":
+        return loss.mean()
+    if reduction == "sum":
+        return loss.sum()
+    return loss
+
+
+def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Look up rows of ``weight`` by integer ``indices``."""
+    indices = np.asarray(indices, dtype=np.int64)
+    return weight[indices]
+
+
+__all__ = [
+    "relu",
+    "gelu",
+    "sigmoid",
+    "tanh",
+    "softmax",
+    "log_softmax",
+    "linear",
+    "l2_normalize",
+    "cosine_similarity",
+    "dropout",
+    "layer_norm",
+    "batch_norm_2d",
+    "conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "global_avg_pool2d",
+    "nll_loss",
+    "cross_entropy",
+    "soft_cross_entropy",
+    "knowledge_distillation_loss",
+    "mse_loss",
+    "embedding",
+]

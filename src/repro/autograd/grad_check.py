@@ -1,0 +1,59 @@
+"""Finite-difference gradient checking used by the autograd test-suite."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+def numerical_gradient(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    wrt: int = 0,
+    eps: float = 1e-5,
+) -> np.ndarray:
+    """Estimate ``d fn(inputs) / d inputs[wrt]`` by central differences.
+
+    ``fn`` must return a scalar Tensor.  The chosen input is perturbed one
+    element at a time, so this is only suitable for the small tensors used in
+    tests.
+    """
+    target = inputs[wrt]
+    grad = np.zeros_like(target.data)
+    flat = target.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = float(fn(*inputs).data)
+        flat[i] = original - eps
+        minus = float(fn(*inputs).data)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def check_gradient(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    wrt: int = 0,
+    eps: float = 1e-5,
+    atol: float = 1e-4,
+    rtol: float = 1e-3,
+) -> bool:
+    """Compare analytic and numerical gradients; returns True when they agree."""
+    for tensor in inputs:
+        tensor.zero_grad()
+    output = fn(*inputs)
+    output.backward()
+    analytic = inputs[wrt].grad
+    if analytic is None:
+        analytic = np.zeros_like(inputs[wrt].data)
+    numeric = numerical_gradient(fn, inputs, wrt=wrt, eps=eps)
+    return bool(np.allclose(analytic, numeric, atol=atol, rtol=rtol))
+
+
+__all__ = ["numerical_gradient", "check_gradient"]

@@ -1,0 +1,623 @@
+"""A tape-based reverse-mode autodiff :class:`Tensor` built on numpy.
+
+The design mirrors the small core of PyTorch that the RefFiL pipeline needs:
+every operation records a backward closure and its parent tensors; calling
+:meth:`Tensor.backward` performs a topological sort of the recorded graph and
+accumulates gradients into ``tensor.grad``.
+
+Only float arrays participate in differentiation.  Integer arrays (labels,
+indices) are carried around as plain numpy arrays by the rest of the code
+base.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+Number = Union[int, float]
+ArrayLike = Union[Number, Sequence, np.ndarray, "Tensor"]
+
+_GRAD_ENABLED = True
+
+DEFAULT_DTYPE = np.float64
+
+
+def is_grad_enabled() -> bool:
+    """Return whether gradient recording is currently enabled."""
+    return _GRAD_ENABLED
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph recording (like ``torch.no_grad``)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def _as_array(value: ArrayLike, dtype=DEFAULT_DTYPE) -> np.ndarray:
+    if isinstance(value, Tensor):
+        return value.data
+    array = np.asarray(value, dtype=dtype)
+    return array
+
+
+def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` undoing numpy broadcasting.
+
+    Used by every binary op so that, e.g., a bias of shape ``(d,)`` added to a
+    batch of shape ``(n, d)`` receives a gradient of shape ``(d,)``.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading dimensions that were added by broadcasting.
+    extra_dims = grad.ndim - len(shape)
+    if extra_dims > 0:
+        grad = grad.sum(axis=tuple(range(extra_dims)))
+    # Sum over dimensions that were broadcast from size 1.
+    axes = tuple(i for i, size in enumerate(shape) if size == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A differentiable, numpy-backed multi-dimensional array."""
+
+    __slots__ = (
+        "data",
+        "grad",
+        "requires_grad",
+        "_backward",
+        "_parents",
+        "_pending_grad",
+        "name",
+    )
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        name: Optional[str] = None,
+    ) -> None:
+        self.data = _as_array(data)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: Tuple["Tensor", ...] = ()
+        self._pending_grad: Optional[np.ndarray] = None
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Basic protocol / inspection helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying numpy array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------ #
+    # Graph construction helper
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _result(
+        data: np.ndarray,
+        parents: Iterable["Tensor"],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        parents = tuple(p for p in parents if isinstance(p, Tensor))
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = tuple(p for p in parents if p.requires_grad)
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = grad.astype(self.data.dtype, copy=True)
+        else:
+            self.grad = self.grad + grad
+
+    # ------------------------------------------------------------------ #
+    # Backward pass
+    # ------------------------------------------------------------------ #
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Run reverse-mode autodiff from this tensor.
+
+        Parameters
+        ----------
+        grad:
+            Seed gradient.  Defaults to ``1.0`` which requires the tensor to
+            be a scalar (the usual loss case).
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar outputs")
+            grad = np.ones_like(self.data)
+        else:
+            grad = _as_array(grad)
+            if grad.shape != self.data.shape:
+                grad = np.broadcast_to(grad, self.data.shape).copy()
+
+        # Topological order of the graph reachable from self.
+        order: List[Tensor] = []
+        visited = set()
+        stack: List[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        grads = {id(self): grad}
+        for node in reversed(order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node._backward is None:
+                node._accumulate(node_grad)
+                continue
+            # Leaf accumulation happens inside each backward closure via
+            # _send_grad; interior nodes stash a pending gradient that is
+            # collected here and folded into the traversal.
+            node._backward(node_grad)
+            for parent in node._parents:
+                stashed = parent._pending_grad
+                if stashed is not None:
+                    existing = grads.get(id(parent))
+                    grads[id(parent)] = stashed if existing is None else existing + stashed
+                    parent._pending_grad = None
+        # Any remaining gradients belong to leaves reached only as roots.
+        for node in order:
+            remaining = grads.pop(id(node), None)
+            if remaining is not None:
+                node._accumulate(remaining)
+
+    # The backward closures communicate with the traversal above by calling
+    # ``_send_grad`` on their parents rather than mutating ``grad`` directly.
+    def _send_grad(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        if self._backward is None and not self._parents:
+            # Leaf tensor: accumulate immediately.
+            self._accumulate(grad)
+            return
+        if self._pending_grad is None:
+            self._pending_grad = grad
+        else:
+            self._pending_grad = self._pending_grad + grad
+
+    # ------------------------------------------------------------------ #
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data + other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._send_grad(unbroadcast(grad, self.shape))
+            other_t._send_grad(unbroadcast(grad, other_t.shape))
+
+        return Tensor._result(data, (self, other_t), backward)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data - other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._send_grad(unbroadcast(grad, self.shape))
+            other_t._send_grad(unbroadcast(-grad, other_t.shape))
+
+        return Tensor._result(data, (self, other_t), backward)
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(other) - self
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data * other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._send_grad(unbroadcast(grad * other_t.data, self.shape))
+            other_t._send_grad(unbroadcast(grad * self.data, other_t.shape))
+
+        return Tensor._result(data, (self, other_t), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data / other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._send_grad(unbroadcast(grad / other_t.data, self.shape))
+            other_t._send_grad(
+                unbroadcast(-grad * self.data / (other_t.data ** 2), other_t.shape)
+            )
+
+        return Tensor._result(data, (self, other_t), backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(other) / self
+
+    def __neg__(self) -> "Tensor":
+        data = -self.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._send_grad(-grad)
+
+        return Tensor._result(data, (self,), backward)
+
+    def __pow__(self, exponent: Number) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            raise TypeError("Tensor exponents are not supported; use exp/log instead")
+        data = self.data ** exponent
+
+        def backward(grad: np.ndarray) -> None:
+            self._send_grad(grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor._result(data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Comparison (non-differentiable, returns plain numpy bool arrays)
+    # ------------------------------------------------------------------ #
+    def __gt__(self, other: ArrayLike) -> np.ndarray:
+        return self.data > _as_array(other)
+
+    def __lt__(self, other: ArrayLike) -> np.ndarray:
+        return self.data < _as_array(other)
+
+    def __ge__(self, other: ArrayLike) -> np.ndarray:
+        return self.data >= _as_array(other)
+
+    def __le__(self, other: ArrayLike) -> np.ndarray:
+        return self.data <= _as_array(other)
+
+    # ------------------------------------------------------------------ #
+    # Matrix multiplication
+    # ------------------------------------------------------------------ #
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        data = np.matmul(self.data, other_t.data)
+
+        def backward(grad: np.ndarray) -> None:
+            a, b = self.data, other_t.data
+            if a.ndim == 1 and b.ndim == 1:
+                self._send_grad(grad * b)
+                other_t._send_grad(grad * a)
+                return
+            a_mat = a[None, :] if a.ndim == 1 else a
+            b_mat = b[:, None] if b.ndim == 1 else b
+            grad_mat = grad
+            if a.ndim == 1:
+                grad_mat = np.expand_dims(grad_mat, -2)
+            if b.ndim == 1:
+                grad_mat = np.expand_dims(grad_mat, -1)
+            grad_a = np.matmul(grad_mat, np.swapaxes(b_mat, -1, -2))
+            grad_b = np.matmul(np.swapaxes(a_mat, -1, -2), grad_mat)
+            if a.ndim == 1:
+                grad_a = np.squeeze(grad_a, -2)
+            if b.ndim == 1:
+                grad_b = np.squeeze(grad_b, -1)
+            self._send_grad(unbroadcast(grad_a, self.shape))
+            other_t._send_grad(unbroadcast(grad_b, other_t.shape))
+
+        return Tensor._result(data, (self, other_t), backward)
+
+    def __rmatmul__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(other) @ self
+
+    def matmul(self, other: ArrayLike) -> "Tensor":
+        return self @ other
+
+    # ------------------------------------------------------------------ #
+    # Unary math
+    # ------------------------------------------------------------------ #
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._send_grad(grad * data)
+
+        return Tensor._result(data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        data = np.log(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._send_grad(grad / self.data)
+
+        return Tensor._result(data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        data = np.sqrt(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._send_grad(grad * 0.5 / np.maximum(data, 1e-12))
+
+        return Tensor._result(data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._send_grad(grad * (1.0 - data ** 2))
+
+        return Tensor._result(data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad: np.ndarray) -> None:
+            self._send_grad(grad * data * (1.0 - data))
+
+        return Tensor._result(data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        data = self.data * mask
+
+        def backward(grad: np.ndarray) -> None:
+            self._send_grad(grad * mask)
+
+        return Tensor._result(data, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        data = np.abs(self.data)
+        sign = np.sign(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._send_grad(grad * sign)
+
+        return Tensor._result(data, (self,), backward)
+
+    def clip(self, minimum: Number, maximum: Number) -> "Tensor":
+        data = np.clip(self.data, minimum, maximum)
+        mask = (self.data >= minimum) & (self.data <= maximum)
+
+        def backward(grad: np.ndarray) -> None:
+            self._send_grad(grad * mask)
+
+        return Tensor._result(data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Reductions
+    # ------------------------------------------------------------------ #
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            expanded = grad
+            if axis is not None and not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                axes = tuple(a % self.data.ndim for a in axes)
+                for a in sorted(axes):
+                    expanded = np.expand_dims(expanded, a)
+            self._send_grad(np.broadcast_to(expanded, self.shape).copy())
+
+        return Tensor._result(data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        mean = self.mean(axis=axis, keepdims=True)
+        centred = self - mean
+        result = (centred * centred).mean(axis=axis, keepdims=keepdims)
+        return result
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            expanded_data = self.data.max(axis=axis, keepdims=True)
+            mask = (self.data == expanded_data).astype(self.data.dtype)
+            mask = mask / np.maximum(mask.sum(axis=axis, keepdims=True), 1.0)
+            expanded_grad = grad
+            if axis is not None and not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                for a in sorted(a % self.data.ndim for a in axes):
+                    expanded_grad = np.expand_dims(expanded_grad, a)
+            self._send_grad(mask * expanded_grad)
+
+        return Tensor._result(data, (self,), backward)
+
+    def min(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return -(-self).max(axis=axis, keepdims=keepdims)
+
+    # ------------------------------------------------------------------ #
+    # Shape manipulation
+    # ------------------------------------------------------------------ #
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        data = self.data.reshape(shape)
+        original_shape = self.shape
+
+        def backward(grad: np.ndarray) -> None:
+            self._send_grad(grad.reshape(original_shape))
+
+        return Tensor._result(data, (self,), backward)
+
+    def flatten(self, start_dim: int = 0) -> "Tensor":
+        shape = self.shape[:start_dim] + (-1,)
+        return self.reshape(*shape)
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        data = self.data.transpose(axes)
+        inverse = np.argsort(axes)
+
+        def backward(grad: np.ndarray) -> None:
+            self._send_grad(grad.transpose(inverse))
+
+        return Tensor._result(data, (self,), backward)
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        axes = list(range(self.ndim))
+        axes[axis1], axes[axis2] = axes[axis2], axes[axis1]
+        return self.transpose(*axes)
+
+    def expand_dims(self, axis: int) -> "Tensor":
+        data = np.expand_dims(self.data, axis)
+
+        def backward(grad: np.ndarray) -> None:
+            self._send_grad(np.squeeze(grad, axis))
+
+        return Tensor._result(data, (self,), backward)
+
+    def squeeze(self, axis: Optional[int] = None) -> "Tensor":
+        data = np.squeeze(self.data, axis) if axis is not None else np.squeeze(self.data)
+        original_shape = self.shape
+
+        def backward(grad: np.ndarray) -> None:
+            self._send_grad(grad.reshape(original_shape))
+
+        return Tensor._result(data, (self,), backward)
+
+    def broadcast_to(self, shape: Tuple[int, ...]) -> "Tensor":
+        data = np.broadcast_to(self.data, shape).copy()
+        original_shape = self.shape
+
+        def backward(grad: np.ndarray) -> None:
+            self._send_grad(unbroadcast(grad, original_shape))
+
+        return Tensor._result(data, (self,), backward)
+
+    def __getitem__(self, index) -> "Tensor":
+        data = self.data[index]
+
+        def backward(grad: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, grad)
+            self._send_grad(full)
+
+        return Tensor._result(data, (self,), backward)
+
+    def pad(self, pad_width, constant: Number = 0.0) -> "Tensor":
+        data = np.pad(self.data, pad_width, mode="constant", constant_values=constant)
+        slices = tuple(
+            slice(before, before + size)
+            for (before, _), size in zip(pad_width, self.shape)
+        )
+
+        def backward(grad: np.ndarray) -> None:
+            self._send_grad(grad[slices])
+
+        return Tensor._result(data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Static constructors / combinators
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def concatenate(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+        data = np.concatenate([t.data for t in tensors], axis=axis)
+        sizes = [t.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward(grad: np.ndarray) -> None:
+            for tensor, start, end in zip(tensors, offsets[:-1], offsets[1:]):
+                slicer = [slice(None)] * grad.ndim
+                slicer[axis] = slice(start, end)
+                tensor._send_grad(grad[tuple(slicer)])
+
+        return Tensor._result(data, tensors, backward)
+
+    @staticmethod
+    def stack(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+        data = np.stack([t.data for t in tensors], axis=axis)
+
+        def backward(grad: np.ndarray) -> None:
+            split = np.split(grad, len(tensors), axis=axis)
+            for tensor, piece in zip(tensors, split):
+                tensor._send_grad(np.squeeze(piece, axis=axis))
+
+        return Tensor._result(data, tensors, backward)
+
+    @staticmethod
+    def zeros(shape, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.zeros(shape, dtype=DEFAULT_DTYPE), requires_grad=requires_grad)
+
+    @staticmethod
+    def ones(shape, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.ones(shape, dtype=DEFAULT_DTYPE), requires_grad=requires_grad)
+
+    @staticmethod
+    def randn(*shape, rng: Optional[np.random.Generator] = None, requires_grad: bool = False) -> "Tensor":
+        generator = rng if rng is not None else np.random.default_rng()
+        return Tensor(generator.standard_normal(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def from_numpy(array: np.ndarray, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.asarray(array, dtype=DEFAULT_DTYPE), requires_grad=requires_grad)
+
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "unbroadcast", "DEFAULT_DTYPE"]

@@ -1,0 +1,45 @@
+"""Rehearsal-free federated continual-learning baselines.
+
+The paper benchmarks RefFiL against federated adaptations of five
+centralised continual-learning methods (Sec. V-A "Baselines"):
+
+* **Finetune** -- plain FedAvg with cross-entropy; the lower bound that
+  suffers full catastrophic forgetting.
+* **FedLwF** -- Learning-without-Forgetting: knowledge distillation from the
+  previous task's global model.
+* **FedEWC** -- Elastic Weight Consolidation: a Fisher-information penalty
+  anchored at the previous task's global parameters.
+* **FedL2P** -- Learning-to-Prompt with a key-query matched prompt pool; the
+  dagger variant keeps the pool enabled, the plain variant replaces it with a
+  single shared prompt (the paper's "fair comparison" setting).
+* **FedDualPrompt** -- DualPrompt's General + Expert prompts; the dagger
+  variant keeps per-task expert prompts with key matching.
+
+All baselines share the same :class:`repro.models.PromptedBackbone` and the
+same federated loop; only the local objective and the prompt machinery differ.
+"""
+
+from repro.baselines.base import BaselineConfig, CrossEntropyFederatedMethod
+from repro.baselines.finetune import FinetuneMethod
+from repro.baselines.fedlwf import FedLwFMethod
+from repro.baselines.fedewc import FedEWCMethod
+from repro.baselines.prompt_pool import PromptPool, PromptPoolConfig
+from repro.baselines.fedl2p import FedL2PMethod, L2PModel
+from repro.baselines.feddualprompt import FedDualPromptMethod, DualPromptModel
+from repro.baselines.registry import available_methods, build_method
+
+__all__ = [
+    "BaselineConfig",
+    "CrossEntropyFederatedMethod",
+    "FinetuneMethod",
+    "FedLwFMethod",
+    "FedEWCMethod",
+    "PromptPool",
+    "PromptPoolConfig",
+    "FedL2PMethod",
+    "L2PModel",
+    "FedDualPromptMethod",
+    "DualPromptModel",
+    "available_methods",
+    "build_method",
+]

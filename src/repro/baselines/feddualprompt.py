@@ -1,0 +1,148 @@
+"""FedDualPrompt: DualPrompt (Wang et al., 2022) adapted to federated learning.
+
+DualPrompt replaces L2P's single pool with two complementary prompt types:
+
+* a **General prompt** (G-prompt) shared by every task, carrying
+  task-invariant instructions, and
+* **Expert prompts** (E-prompts), one per task, selected by the task identity
+  during training and by key-query matching at inference.
+
+The plain variant ("prompt pool deactivated" in the paper's fair-comparison
+setting) keeps the G-prompt and a single shared E-prompt; the dagger variant
+keeps the per-task E-prompt bank with learned keys.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.baselines.base import BaselineConfig, CrossEntropyFederatedMethod
+from repro.baselines.prompt_pool import SinglePrompt
+from repro.federated.client import ClientHandle
+from repro.models.backbone import BackboneConfig, PromptedBackbone
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import spawn_rng
+
+
+class DualPromptModel(Module):
+    """Backbone plus General and Expert prompts."""
+
+    def __init__(
+        self,
+        backbone_config: BackboneConfig,
+        num_tasks: int,
+        general_length: int = 2,
+        expert_length: int = 2,
+        use_expert_bank: bool = True,
+    ) -> None:
+        super().__init__()
+        if num_tasks < 1:
+            raise ValueError("num_tasks must be at least 1")
+        self.backbone = PromptedBackbone(backbone_config)
+        self.num_tasks = num_tasks
+        self.use_expert_bank = use_expert_bank
+        rng = spawn_rng(backbone_config.seed, "dualprompt")
+        embed_dim = backbone_config.embed_dim
+        self.general_prompt = Parameter(init.normal((general_length, embed_dim), std=0.02, rng=rng))
+        if use_expert_bank:
+            self.expert_prompts = Parameter(
+                init.normal((num_tasks, expert_length, embed_dim), std=0.02, rng=rng)
+            )
+            self.expert_keys = Parameter(init.normal((num_tasks, embed_dim), std=0.02, rng=rng))
+            self.shared_expert = None
+        else:
+            self.expert_prompts = None
+            self.expert_keys = None
+            self.shared_expert = SinglePrompt(expert_length, embed_dim, seed=backbone_config.seed)
+
+    # ------------------------------------------------------------------ #
+    # Prompt assembly
+    # ------------------------------------------------------------------ #
+    def _general_tokens(self, batch: int) -> Tensor:
+        length, dim = self.general_prompt.shape
+        return self.general_prompt.reshape(1, length, dim).broadcast_to((batch, length, dim))
+
+    def _expert_tokens(self, patch_tokens: Tensor, task_id: Optional[int]):
+        """Expert prompt tokens plus the key-matching pull loss (zero when not applicable)."""
+        batch = patch_tokens.shape[0]
+        if not self.use_expert_bank:
+            return self.shared_expert.tokens(batch), Tensor(0.0)
+        if task_id is not None:
+            indices = np.full(batch, int(task_id), dtype=np.int64)
+        else:
+            # Inference: pick the expert whose key best matches the query.
+            query = patch_tokens.mean(axis=1).data
+            query_norm = query / np.maximum(np.linalg.norm(query, axis=1, keepdims=True), 1e-12)
+            keys = self.expert_keys.data
+            key_norm = keys / np.maximum(np.linalg.norm(keys, axis=1, keepdims=True), 1e-12)
+            indices = (query_norm @ key_norm.T).argmax(axis=1)
+        expert_tokens = self.expert_prompts[indices]  # (batch, e_len, d)
+        selected_keys = self.expert_keys[indices]  # (batch, d)
+        query = patch_tokens.mean(axis=1).detach()
+        pull = (1.0 - F.cosine_similarity(query, selected_keys)).mean()
+        return expert_tokens, pull
+
+    def forward_with_pull(self, images: Tensor, task_id: Optional[int] = None):
+        patches = self.backbone.patch_tokens(images)
+        batch = patches.shape[0]
+        expert_tokens, pull_loss = self._expert_tokens(patches, task_id)
+        prompts = Tensor.concatenate([self._general_tokens(batch), expert_tokens], axis=1)
+        logits = self.backbone.forward_from_patches(patches, prompts)
+        return logits, pull_loss
+
+    def forward(self, images: Tensor, task_id: Optional[int] = None) -> Tensor:
+        logits, _ = self.forward_with_pull(images, task_id)
+        return logits
+
+
+class FedDualPromptMethod(CrossEntropyFederatedMethod):
+    """Federated DualPrompt; ``use_expert_bank=True`` is the dagger variant."""
+
+    name = "FedDualPrompt"
+
+    def __init__(
+        self,
+        config: BaselineConfig,
+        num_tasks: int,
+        use_expert_bank: bool = False,
+        general_length: int = 2,
+        expert_length: int = 2,
+        pull_constraint: float = 0.5,
+    ) -> None:
+        super().__init__(config)
+        self.num_tasks = num_tasks
+        self.use_expert_bank = use_expert_bank
+        self.general_length = general_length
+        self.expert_length = expert_length
+        self.pull_constraint = pull_constraint
+        self.name = "FedDualPrompt†" if use_expert_bank else "FedDualPrompt"
+
+    def build_model(self) -> DualPromptModel:
+        return DualPromptModel(
+            self.config.backbone,
+            num_tasks=self.num_tasks,
+            general_length=self.general_length,
+            expert_length=self.expert_length,
+            use_expert_bank=self.use_expert_bank,
+        )
+
+    def batch_loss(
+        self, model: DualPromptModel, images: Tensor, labels: np.ndarray, client: ClientHandle
+    ) -> Tensor:
+        task_id = min(client.task_id, self.num_tasks - 1)
+        logits, pull_loss = model.forward_with_pull(images, task_id=task_id)
+        loss = F.cross_entropy(logits, labels)
+        if self.use_expert_bank and self.pull_constraint > 0:
+            loss = loss + self.pull_constraint * pull_loss
+        return loss
+
+    def predict_logits(self, model: DualPromptModel, images: Tensor) -> Tensor:
+        return model(images, task_id=None)
+
+
+__all__ = ["DualPromptModel", "FedDualPromptMethod"]

@@ -1,0 +1,117 @@
+"""FedL2P: Learning-to-Prompt (Wang et al., 2022) adapted to federated learning.
+
+L2P keeps a pool of prompts selected per input by key-query matching; the
+selected prompts are prepended to the token sequence and trained jointly with
+a pull loss that draws keys toward the queries that selected them.  The
+federated adaptation simply lets FedAvg aggregate the pool (prompts + keys)
+along with the backbone.
+
+``use_pool=False`` reproduces the paper's "prompt pool deactivated" fair
+comparison setting, where a single shared prompt replaces the pool;
+``use_pool=True`` is the dagger variant of the tables.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.baselines.base import BaselineConfig, CrossEntropyFederatedMethod
+from repro.baselines.prompt_pool import PromptPool, PromptPoolConfig, SinglePrompt
+from repro.federated.client import ClientHandle
+from repro.models.backbone import BackboneConfig, PromptedBackbone
+from repro.nn.module import Module
+
+
+class L2PModel(Module):
+    """Backbone plus a (pooled or single) prompt source."""
+
+    def __init__(
+        self,
+        backbone_config: BackboneConfig,
+        pool_config: Optional[PromptPoolConfig],
+        prompt_length: int = 2,
+    ) -> None:
+        super().__init__()
+        self.backbone = PromptedBackbone(backbone_config)
+        self.use_pool = pool_config is not None
+        if self.use_pool:
+            self.pool = PromptPool(pool_config)
+            self.single_prompt = None
+        else:
+            self.pool = None
+            self.single_prompt = SinglePrompt(
+                prompt_length, backbone_config.embed_dim, seed=backbone_config.seed
+            )
+
+    def query(self, patch_tokens: Tensor) -> Tensor:
+        """The L2P query function: mean patch-token embedding, detached."""
+        return patch_tokens.mean(axis=1).detach()
+
+    def forward_with_pull(self, images: Tensor):
+        """Return ``(logits, pull_loss)``; pull loss is zero without a pool."""
+        patches = self.backbone.patch_tokens(images)
+        if self.use_pool:
+            prompts, pull_loss, _ = self.pool.select(self.query(patches))
+        else:
+            prompts = self.single_prompt.tokens(patches.shape[0])
+            pull_loss = Tensor(0.0)
+        logits = self.backbone.forward_from_patches(patches, prompts)
+        return logits, pull_loss
+
+    def forward(self, images: Tensor) -> Tensor:
+        logits, _ = self.forward_with_pull(images)
+        return logits
+
+
+class FedL2PMethod(CrossEntropyFederatedMethod):
+    """Federated L2P; set ``use_pool=True`` for the dagger variant."""
+
+    name = "FedL2P"
+
+    def __init__(
+        self,
+        config: BaselineConfig,
+        use_pool: bool = False,
+        pool_size: int = 6,
+        prompt_length: int = 2,
+        top_k: int = 2,
+        pull_constraint: float = 0.5,
+    ) -> None:
+        super().__init__(config)
+        self.use_pool = use_pool
+        self.prompt_length = prompt_length
+        self.pull_constraint = pull_constraint
+        self.pool_config = (
+            PromptPoolConfig(
+                pool_size=pool_size,
+                prompt_length=prompt_length,
+                embed_dim=config.backbone.embed_dim,
+                top_k=top_k,
+                seed=config.backbone.seed,
+            )
+            if use_pool
+            else None
+        )
+        self.name = "FedL2P†" if use_pool else "FedL2P"
+
+    def build_model(self) -> L2PModel:
+        return L2PModel(self.config.backbone, self.pool_config, prompt_length=self.prompt_length)
+
+    def batch_loss(
+        self, model: L2PModel, images: Tensor, labels: np.ndarray, client: ClientHandle
+    ) -> Tensor:
+        logits, pull_loss = model.forward_with_pull(images)
+        loss = F.cross_entropy(logits, labels)
+        if self.use_pool and self.pull_constraint > 0:
+            loss = loss + self.pull_constraint * pull_loss
+        return loss
+
+    def predict_logits(self, model: L2PModel, images: Tensor) -> Tensor:
+        return model(images)
+
+
+__all__ = ["L2PModel", "FedL2PMethod"]

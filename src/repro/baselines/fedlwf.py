@@ -1,0 +1,78 @@
+"""FedLwF: Learning without Forgetting adapted to federated domain-incremental learning.
+
+Li & Hoiem's LwF regularises the current model with a knowledge-distillation
+loss against a frozen copy of the model from before the task switch.  In the
+federated adaptation the teacher is the *global* model snapshotted at the end
+of the previous task, which every client can reconstruct from the broadcast
+state without storing any data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor, no_grad
+from repro.baselines.base import BaselineConfig, CrossEntropyFederatedMethod
+from repro.federated.client import ClientHandle
+from repro.federated.server import FederatedServer
+from repro.models.backbone import PromptedBackbone
+from repro.nn.module import Module
+
+
+class FedLwFMethod(CrossEntropyFederatedMethod):
+    """Cross-entropy plus temperature-scaled distillation from the previous task's global model."""
+
+    name = "FedLwF"
+
+    def __init__(
+        self,
+        config: BaselineConfig,
+        distillation_weight: float = 1.0,
+        temperature: float = 2.0,
+    ) -> None:
+        super().__init__(config)
+        if distillation_weight < 0:
+            raise ValueError("distillation_weight must be non-negative")
+        self.distillation_weight = distillation_weight
+        self.temperature = temperature
+        self._teacher: Optional[Module] = None
+        self._teacher_state: Optional[Dict[str, np.ndarray]] = None
+
+    # ------------------------------------------------------------------ #
+    # Task lifecycle: snapshot the global model as the new teacher
+    # ------------------------------------------------------------------ #
+    def on_task_start(self, task_id: int, server: FederatedServer) -> None:
+        if task_id == 0:
+            return
+        self._teacher_state = {key: value.copy() for key, value in server.global_state.items()}
+        if self._teacher is None:
+            self._teacher = PromptedBackbone(self.config.backbone)
+        self._teacher.load_state_dict(self._teacher_state)
+        self._teacher.eval()
+
+    @property
+    def has_teacher(self) -> bool:
+        return self._teacher is not None and self._teacher_state is not None
+
+    # ------------------------------------------------------------------ #
+    # Local objective
+    # ------------------------------------------------------------------ #
+    def batch_loss(
+        self, model: Module, images: Tensor, labels: np.ndarray, client: ClientHandle
+    ) -> Tensor:
+        logits = model(images)
+        loss = F.cross_entropy(logits, labels)
+        if self.has_teacher and self.distillation_weight > 0:
+            with no_grad():
+                teacher_logits = self._teacher(images)
+            distillation = F.knowledge_distillation_loss(
+                logits, teacher_logits, temperature=self.temperature
+            )
+            loss = loss + self.distillation_weight * distillation
+        return loss
+
+
+__all__ = ["FedLwFMethod"]

@@ -1,0 +1,22 @@
+"""Finetune baseline: FedAvg with plain cross-entropy and no forgetting mitigation.
+
+This is the paper's lower bound ("straightforward model updates but
+significantly impacted by catastrophic forgetting") and the reference point
+for the Table VII ablation deltas.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineConfig, CrossEntropyFederatedMethod
+
+
+class FinetuneMethod(CrossEntropyFederatedMethod):
+    """Plain federated finetuning on whatever data each client currently holds."""
+
+    name = "Finetune"
+
+    def __init__(self, config: BaselineConfig) -> None:
+        super().__init__(config)
+
+
+__all__ = ["FinetuneMethod"]

@@ -1,0 +1,113 @@
+"""Method registry: build any of the paper's eight compared methods by name.
+
+The names match the rows of Tables I-VI: ``finetune``, ``fedlwf``, ``fedewc``,
+``fedl2p``, ``fedl2p_pool`` (dagger), ``feddualprompt``, ``feddualprompt_pool``
+(dagger) and ``refil``, plus the ablation variants ``refil_<components>`` used
+by Table VII.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.baselines.base import BaselineConfig
+from repro.baselines.feddualprompt import FedDualPromptMethod
+from repro.baselines.fedewc import FedEWCMethod
+from repro.baselines.fedl2p import FedL2PMethod
+from repro.baselines.fedlwf import FedLwFMethod
+from repro.baselines.finetune import FinetuneMethod
+from repro.core.dpcl import DPCLConfig
+from repro.core.method import RefFiLConfig, RefFiLMethod
+from repro.federated.method import FederatedMethod
+from repro.models.backbone import BackboneConfig
+
+_METHOD_NAMES: Tuple[str, ...] = (
+    "finetune",
+    "fedlwf",
+    "fedewc",
+    "fedl2p",
+    "fedl2p_pool",
+    "feddualprompt",
+    "feddualprompt_pool",
+    "refil",
+    "refil_cdap",
+    "refil_gpl",
+    "refil_cdap_gpl",
+    "refil_gpl_dpcl",
+)
+
+
+def available_methods() -> Tuple[str, ...]:
+    """Names accepted by :func:`build_method`."""
+    return _METHOD_NAMES
+
+
+def build_method(
+    name: str,
+    backbone: BackboneConfig,
+    num_tasks: int,
+    dpcl: Optional[DPCLConfig] = None,
+    prompt_length: int = 4,
+) -> FederatedMethod:
+    """Instantiate a method by its registry name.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_methods`.
+    backbone:
+        Backbone configuration shared by every method (fair comparison).
+    num_tasks:
+        Number of incremental tasks in the scenario (needed by DualPrompt's
+        expert bank and RefFiL's task-key embedding).
+    dpcl:
+        Optional override of RefFiL's contrastive-temperature configuration
+        (used by the Table VIII sensitivity sweep).
+    prompt_length:
+        Length of RefFiL's generated prompts.
+    """
+    key = name.lower()
+    baseline_config = BaselineConfig(backbone=backbone)
+    dpcl_config = dpcl if dpcl is not None else DPCLConfig()
+
+    def refil_with(use_cdap: bool, use_gpl: bool, use_dpcl: bool) -> RefFiLMethod:
+        return RefFiLMethod(
+            RefFiLConfig(
+                backbone=backbone,
+                prompt_length=prompt_length,
+                max_tasks=max(num_tasks, 1),
+                dpcl=dpcl_config,
+                use_cdap=use_cdap,
+                use_gpl=use_gpl,
+                use_dpcl=use_dpcl,
+            )
+        )
+
+    if key == "finetune":
+        return FinetuneMethod(baseline_config)
+    if key == "fedlwf":
+        return FedLwFMethod(baseline_config)
+    if key == "fedewc":
+        return FedEWCMethod(baseline_config)
+    if key == "fedl2p":
+        return FedL2PMethod(baseline_config, use_pool=False)
+    if key == "fedl2p_pool":
+        return FedL2PMethod(baseline_config, use_pool=True)
+    if key == "feddualprompt":
+        return FedDualPromptMethod(baseline_config, num_tasks=num_tasks, use_expert_bank=False)
+    if key == "feddualprompt_pool":
+        return FedDualPromptMethod(baseline_config, num_tasks=num_tasks, use_expert_bank=True)
+    if key == "refil":
+        return refil_with(True, True, True)
+    if key == "refil_cdap":
+        return refil_with(True, False, False)
+    if key == "refil_gpl":
+        return refil_with(False, True, False)
+    if key == "refil_cdap_gpl":
+        return refil_with(True, True, False)
+    if key == "refil_gpl_dpcl":
+        return refil_with(False, True, True)
+    raise KeyError(f"unknown method {name!r}; available: {', '.join(_METHOD_NAMES)}")
+
+
+__all__ = ["available_methods", "build_method"]

@@ -1,0 +1,14 @@
+"""Continual-learning scaffolding: domain-incremental scenarios and forgetting metrics."""
+
+from repro.continual.scenario import DomainIncrementalScenario, Task
+from repro.continual.metrics import AccuracyMatrix, ContinualMetrics
+from repro.continual.evaluator import evaluate_accuracy, GlobalEvaluator
+
+__all__ = [
+    "DomainIncrementalScenario",
+    "Task",
+    "AccuracyMatrix",
+    "ContinualMetrics",
+    "evaluate_accuracy",
+    "GlobalEvaluator",
+]

@@ -1,0 +1,75 @@
+"""Model evaluation over task streams."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.continual.metrics import AccuracyMatrix
+from repro.continual.scenario import DomainIncrementalScenario, Task
+from repro.datasets.base import ArrayDataset, DataLoader
+from repro.nn.module import Module
+
+
+def evaluate_accuracy(
+    model: Module,
+    dataset: ArrayDataset,
+    batch_size: int = 64,
+    predict_fn: Optional[Callable[[Module, Tensor], Tensor]] = None,
+) -> float:
+    """Top-1 accuracy of ``model`` on ``dataset``.
+
+    ``predict_fn`` lets prompt-based methods inject their inference-time
+    prompts; the default simply calls the model on the images.
+    """
+    if len(dataset) == 0:
+        raise ValueError("cannot evaluate on an empty dataset")
+    model.eval()
+    correct = 0
+    loader = DataLoader(dataset, batch_size=batch_size, shuffle=False)
+    with no_grad():
+        for images, labels in loader:
+            logits = predict_fn(model, images) if predict_fn is not None else model(images)
+            predictions = logits.data.argmax(axis=-1)
+            correct += int((predictions == labels).sum())
+    model.train()
+    return correct / len(dataset)
+
+
+class GlobalEvaluator:
+    """Tracks the global model's accuracy matrix over a continual scenario."""
+
+    def __init__(
+        self,
+        scenario: DomainIncrementalScenario,
+        batch_size: int = 64,
+        predict_fn: Optional[Callable[[Module, Tensor], Tensor]] = None,
+    ) -> None:
+        self.scenario = scenario
+        self.batch_size = batch_size
+        self.predict_fn = predict_fn
+        self.accuracy_matrix = AccuracyMatrix(scenario.num_tasks)
+        self.per_task_history: List[Dict[str, float]] = []
+
+    def evaluate_after_task(self, model: Module, task_id: int) -> Dict[str, float]:
+        """Evaluate on every seen task's test set and record the results.
+
+        Returns a mapping from domain name to accuracy for logging.
+        """
+        results: Dict[str, float] = {}
+        for seen in self.scenario.seen_tests(task_id):
+            accuracy = evaluate_accuracy(
+                model, seen.test, batch_size=self.batch_size, predict_fn=self.predict_fn
+            )
+            self.accuracy_matrix.record(task_id, seen.task_id, accuracy)
+            results[seen.domain_name] = accuracy
+        self.per_task_history.append(results)
+        return results
+
+    def summary(self):
+        return self.accuracy_matrix.summary()
+
+
+__all__ = ["evaluate_accuracy", "GlobalEvaluator"]

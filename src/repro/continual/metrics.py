@@ -1,0 +1,143 @@
+"""Continual-learning metrics: the accuracy matrix and the paper's four summary numbers.
+
+The paper reports (Sec. V-A "Evaluation Metrics"):
+
+* **Avg** -- the iCaRL-style average accuracy: after each learning step the
+  model is evaluated on all seen tasks; Avg is the mean of those per-step
+  averages.
+* **Last** -- the per-step average accuracy after the final learning step.
+* **FGT (forgetting)** -- for each task, the drop from its best historical
+  accuracy to its final accuracy, averaged over tasks (reported as a
+  fraction, e.g. 0.278).
+* **BwT (backward transfer)** -- the mean change in a task's accuracy between
+  the moment it was learned and the end of training (negative values mean
+  forgetting).
+
+All four derive from the lower-triangular accuracy matrix ``R`` where
+``R[i, j]`` is the accuracy on task ``j`` after finishing training on task
+``i``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+class AccuracyMatrix:
+    """Lower-triangular matrix of per-task accuracies across learning steps."""
+
+    def __init__(self, num_tasks: int) -> None:
+        if num_tasks < 1:
+            raise ValueError("num_tasks must be at least 1")
+        self.num_tasks = num_tasks
+        self._matrix = np.full((num_tasks, num_tasks), np.nan)
+
+    def record(self, after_task: int, evaluated_task: int, accuracy: float) -> None:
+        """Record accuracy on ``evaluated_task`` measured after training ``after_task``."""
+        if not 0 <= after_task < self.num_tasks:
+            raise IndexError(f"after_task {after_task} out of range")
+        if not 0 <= evaluated_task <= after_task:
+            raise IndexError(
+                f"evaluated_task {evaluated_task} must be in [0, {after_task}] "
+                "(tasks are evaluated only once seen)"
+            )
+        if not 0.0 <= accuracy <= 1.0:
+            raise ValueError(f"accuracy must be a fraction in [0, 1], got {accuracy}")
+        self._matrix[after_task, evaluated_task] = accuracy
+
+    def value(self, after_task: int, evaluated_task: int) -> float:
+        return float(self._matrix[after_task, evaluated_task])
+
+    @property
+    def matrix(self) -> np.ndarray:
+        return self._matrix.copy()
+
+    def is_complete(self) -> bool:
+        """True when every lower-triangular entry has been recorded."""
+        for i in range(self.num_tasks):
+            for j in range(i + 1):
+                if np.isnan(self._matrix[i, j]):
+                    return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Summary statistics
+    # ------------------------------------------------------------------ #
+    def step_average_accuracies(self) -> List[float]:
+        """Per-step mean accuracy over seen tasks (the per-column numbers of Table III)."""
+        return [float(np.nanmean(self._matrix[i, : i + 1])) for i in range(self.num_tasks)]
+
+    def average_accuracy(self) -> float:
+        """The paper's Avg metric (mean of the per-step averages)."""
+        return float(np.mean(self.step_average_accuracies()))
+
+    def last_accuracy(self) -> float:
+        """The paper's Last metric (per-step average after the final task)."""
+        return self.step_average_accuracies()[-1]
+
+    def forgetting(self) -> float:
+        """The paper's FGT metric (mean drop from best historical to final accuracy)."""
+        if self.num_tasks == 1:
+            return 0.0
+        final = self._matrix[self.num_tasks - 1]
+        drops = []
+        for j in range(self.num_tasks - 1):
+            history = self._matrix[j : self.num_tasks - 1, j]
+            best = np.nanmax(history)
+            drops.append(best - final[j])
+        return float(np.mean(drops))
+
+    def backward_transfer(self) -> float:
+        """The paper's BwT metric (mean final-minus-learned accuracy change)."""
+        if self.num_tasks == 1:
+            return 0.0
+        final = self._matrix[self.num_tasks - 1]
+        deltas = [final[j] - self._matrix[j, j] for j in range(self.num_tasks - 1)]
+        return float(np.mean(deltas))
+
+    def summary(self) -> "ContinualMetrics":
+        return ContinualMetrics(
+            average=self.average_accuracy(),
+            last=self.last_accuracy(),
+            forgetting=self.forgetting(),
+            backward_transfer=self.backward_transfer(),
+            step_averages=self.step_average_accuracies(),
+            matrix=self.matrix,
+        )
+
+
+@dataclass
+class ContinualMetrics:
+    """Summary of one continual run (fractions in [0, 1], not percentages)."""
+
+    average: float
+    last: float
+    forgetting: float
+    backward_transfer: float
+    step_averages: Sequence[float]
+    matrix: Optional[np.ndarray] = None
+
+    def as_percentages(self) -> Dict[str, float]:
+        """Avg/Last as percentages, FGT/BwT as fractions -- the paper's table format."""
+        return {
+            "avg": 100.0 * self.average,
+            "last": 100.0 * self.last,
+            "fgt": self.forgetting,
+            "bwt": self.backward_transfer,
+        }
+
+    def step_averages_pct(self) -> List[float]:
+        return [100.0 * value for value in self.step_averages]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        values = self.as_percentages()
+        return (
+            f"ContinualMetrics(avg={values['avg']:.2f}%, last={values['last']:.2f}%, "
+            f"fgt={values['fgt']:.3f}, bwt={values['bwt']:.3f})"
+        )
+
+
+__all__ = ["AccuracyMatrix", "ContinualMetrics"]

@@ -1,0 +1,46 @@
+"""RefFiL: the paper's contribution.
+
+The pieces map one-to-one onto the paper's Sec. IV:
+
+* :mod:`repro.core.cdap` -- the Client-wise Domain Adaptive Prompt generator
+  (LN -> MLP -> CCDA layer -> FiLM modulation conditioned on a task-ID key
+  embedding), Eq. 4.
+* :mod:`repro.core.prompts` -- local prompt collection / averaging into Local
+  Prompt Groups (Eq. 5) and the server-side global prompt store (Eq. 6-8, 11).
+* :mod:`repro.core.clustering` -- FINCH-based global prompt clustering
+  (Eq. 7-8).
+* :mod:`repro.core.dpcl` -- the Domain-specific Prompt Contrastive Learning
+  loss with temperature decay (Eq. 9-10).
+* :mod:`repro.core.gpl` -- the Global Prompt Learning loss (Eq. 12).
+* :mod:`repro.core.model` -- the composite client model (backbone + CDAP).
+* :mod:`repro.core.method` -- the :class:`repro.federated.FederatedMethod`
+  implementation that plugs RefFiL into the federated simulation
+  (Algorithm 1), with ablation switches for Table VII.
+* :mod:`repro.core.trainer` -- a one-call convenience wrapper used by the
+  examples.
+"""
+
+from repro.core.cdap import CDAPGenerator, CDAPConfig
+from repro.core.prompts import LocalPromptCollector, GlobalPromptStore
+from repro.core.clustering import cluster_prompt_groups
+from repro.core.dpcl import DPCLConfig, decayed_temperature, dpcl_loss
+from repro.core.gpl import gpl_loss
+from repro.core.model import RefFiLModel
+from repro.core.method import RefFiLMethod, RefFiLConfig
+from repro.core.trainer import train_refil
+
+__all__ = [
+    "CDAPGenerator",
+    "CDAPConfig",
+    "LocalPromptCollector",
+    "GlobalPromptStore",
+    "cluster_prompt_groups",
+    "DPCLConfig",
+    "decayed_temperature",
+    "dpcl_loss",
+    "gpl_loss",
+    "RefFiLModel",
+    "RefFiLMethod",
+    "RefFiLConfig",
+    "train_refil",
+]

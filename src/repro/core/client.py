@@ -1,0 +1,196 @@
+"""RefFiL client-side local update (paper Algorithm 1, lines 12-30).
+
+For every mini-batch the client computes (Eq. 14):
+
+    ``L = L_CE + L_GPL + L_DPCL``
+
+* ``L_CE``  -- cross-entropy of the prediction conditioned on the locally
+  generated CDAP prompts (Eq. 13),
+* ``L_GPL`` -- cross-entropy of the prediction conditioned on the averaged
+  global prompts (Eq. 12),
+* ``L_DPCL`` -- the prompt contrastive loss against the clustered global
+  prompts with decayed temperature (Eq. 9-10).
+
+During the final local epoch the generated prompts are pooled per class into
+the client's Local Prompt Group which is uploaded alongside the model update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.core.dpcl import DPCLConfig, decayed_temperature, dpcl_loss
+from repro.core.gpl import gpl_loss
+from repro.core.model import RefFiLModel
+from repro.core.prompts import GlobalPromptStore, LocalPromptCollector
+from repro.federated.client import ClientHandle
+from repro.federated.communication import ClientUpdate
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD
+from repro.utils.rng import spawn_rng
+
+
+@dataclass
+class RefFiLLossBreakdown:
+    """Per-batch loss components, kept for logging and the ablation study."""
+
+    cross_entropy: float = 0.0
+    gpl: float = 0.0
+    dpcl: float = 0.0
+    total: float = 0.0
+
+
+class RefFiLClientTrainer:
+    """Runs one client's local RefFiL update.
+
+    The ablation switches mirror Table VII: with ``use_cdap`` off the client
+    uses a plain learnable prompt parameter instead of the instance-conditioned
+    generator; ``use_gpl`` / ``use_dpcl`` gate the corresponding loss terms.
+    """
+
+    def __init__(
+        self,
+        dpcl_config: DPCLConfig,
+        use_cdap: bool = True,
+        use_gpl: bool = True,
+        use_dpcl: bool = True,
+    ) -> None:
+        self.dpcl_config = dpcl_config
+        self.use_cdap = use_cdap
+        self.use_gpl = use_gpl
+        self.use_dpcl = use_dpcl
+        self._static_prompts: Dict[int, Parameter] = {}
+
+    # ------------------------------------------------------------------ #
+    # Ablation helper: static prompts when the CDAP generator is disabled
+    # ------------------------------------------------------------------ #
+    def _static_prompt_for(self, model: RefFiLModel, client_id: int) -> Parameter:
+        if client_id not in self._static_prompts:
+            rng = spawn_rng(client_id, "static-prompt")
+            self._static_prompts[client_id] = Parameter(
+                0.02 * rng.standard_normal((model.cdap.prompt_length, model.embed_dim))
+            )
+        return self._static_prompts[client_id]
+
+    # ------------------------------------------------------------------ #
+    # Main entry point
+    # ------------------------------------------------------------------ #
+    def local_update(
+        self,
+        model: RefFiLModel,
+        store: GlobalPromptStore,
+        client: ClientHandle,
+    ) -> ClientUpdate:
+        """Train locally for ``client.training.local_epochs`` epochs and build the update."""
+        collector = LocalPromptCollector(model.embed_dim)
+        averaged_globals = store.averaged_prompt_matrix()
+        temperature = decayed_temperature(self.dpcl_config, task_number=client.task_id + 1)
+        static_prompt = (
+            None if self.use_cdap else self._static_prompt_for(model, client.client_id)
+        )
+
+        trainable = [p for p in model.parameters() if p.requires_grad]
+        if static_prompt is not None:
+            trainable = trainable + [static_prompt]
+        optimizer = SGD(
+            trainable,
+            lr=client.training.learning_rate,
+            momentum=client.training.momentum,
+            weight_decay=client.training.weight_decay,
+            max_grad_norm=client.training.max_grad_norm,
+        )
+
+        model.train()
+        total_loss = 0.0
+        batches = 0
+        epochs = client.training.local_epochs
+        for epoch in range(epochs):
+            final_epoch = epoch == epochs - 1
+            for images, labels in client.loader():
+                optimizer.zero_grad()
+                breakdown = self._batch_loss(
+                    model,
+                    images,
+                    labels,
+                    client,
+                    averaged_globals,
+                    store,
+                    temperature,
+                    static_prompt,
+                    collector if final_epoch else None,
+                )
+                breakdown_total = breakdown["loss"]
+                breakdown_total.backward()
+                optimizer.step()
+                total_loss += float(breakdown_total.data)
+                batches += 1
+
+        payload = {
+            "prompt_groups": {
+                str(label): vector for label, vector in collector.local_prompt_group().items()
+            }
+        }
+        return ClientUpdate(
+            client_id=client.client_id,
+            state_dict=model.state_dict(),
+            num_samples=client.num_samples,
+            payload=payload,
+            train_loss=total_loss / max(batches, 1),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Loss assembly for one batch
+    # ------------------------------------------------------------------ #
+    def _batch_loss(
+        self,
+        model: RefFiLModel,
+        images: Tensor,
+        labels: np.ndarray,
+        client: ClientHandle,
+        averaged_globals: Optional[np.ndarray],
+        store: GlobalPromptStore,
+        temperature: float,
+        static_prompt: Optional[Parameter],
+        collector: Optional[LocalPromptCollector],
+    ) -> Dict[str, Tensor]:
+        backbone = model.backbone
+        patch_tokens = backbone.patch_tokens(images)
+        batch = patch_tokens.shape[0]
+
+        # Local prompts: CDAP-generated (Eq. 4) or the static ablation prompt.
+        if self.use_cdap:
+            cls = backbone.cls_token.broadcast_to((batch, 1, model.embed_dim))
+            input_tokens = Tensor.concatenate([cls, patch_tokens], axis=1)
+            local_prompts = model.cdap(input_tokens, client.task_id)
+        else:
+            local_prompts = static_prompt.reshape(
+                1, static_prompt.shape[0], static_prompt.shape[1]
+            ).broadcast_to((batch, static_prompt.shape[0], static_prompt.shape[1]))
+
+        # L_CE: prediction conditioned on the local prompts (Eq. 13).
+        local_logits = backbone.forward_from_patches(patch_tokens, local_prompts)
+        loss = F.cross_entropy(local_logits, labels)
+
+        # L_GPL: prediction conditioned on the averaged global prompts (Eq. 12).
+        if self.use_gpl:
+            gpl = gpl_loss(backbone, patch_tokens, labels, averaged_globals)
+            if gpl is not None:
+                loss = loss + gpl
+
+        # L_DPCL: contrastive alignment of local prompts with global prompts (Eq. 9).
+        if self.use_dpcl:
+            dpcl = dpcl_loss(local_prompts, labels, store, client.group, temperature)
+            if dpcl is not None:
+                loss = loss + self.dpcl_config.weight * dpcl
+
+        if collector is not None:
+            collector.add_batch(local_prompts.detach(), labels)
+        return {"loss": loss}
+
+
+__all__ = ["RefFiLClientTrainer", "RefFiLLossBreakdown"]

@@ -1,0 +1,158 @@
+"""Domain-specific Prompt Contrastive Learning (DPCL) with temperature decay.
+
+Paper Eq. 9-10.  For every sample the locally generated prompt ``u_i`` is
+pulled toward the semantically closest global prompt(s) of its class (the
+positives ``P+``) and pushed away from the remaining global prompts (the
+negatives ``P-``), with an InfoNCE-style loss whose temperature shrinks as
+tasks accumulate:
+
+    ``tau' = max(tau_min, tau * (1 - (gamma + (t - 1) * beta)))``
+
+Old/New clients (one domain) take the single closest class prompt as
+positive; In-between clients (two domains) take the two closest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.core.prompts import GlobalPromptStore
+from repro.federated.increment import ClientGroup
+
+
+@dataclass(frozen=True)
+class DPCLConfig:
+    """Hyper-parameters of the contrastive loss (paper's defaults in Sec. V-A)."""
+
+    tau: float = 0.9
+    tau_min: float = 0.3
+    gamma: float = 0.1
+    beta: float = 0.05
+    enable_decay: bool = True
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.tau_min <= self.tau:
+            raise ValueError("require 0 < tau_min <= tau")
+        if not 0.0 <= self.gamma <= 1.0:
+            raise ValueError("gamma must be in [0, 1]")
+        if not 0.0 <= self.beta <= 1.0:
+            raise ValueError("beta must be in [0, 1]")
+
+
+def decayed_temperature(config: DPCLConfig, task_number: int) -> float:
+    """Temperature for the given 1-based task number (paper Eq. 10).
+
+    With ``enable_decay`` off the base temperature is returned unchanged (the
+    "w/o tau'" row of Table VIII).
+    """
+    if task_number < 1:
+        raise ValueError("task_number is 1-based and must be >= 1")
+    if not config.enable_decay:
+        return config.tau
+    decay = config.gamma + (task_number - 1) * config.beta
+    return max(config.tau_min, config.tau * (1.0 - decay))
+
+
+def _positive_count_for(group: ClientGroup) -> int:
+    """Uo / Un clients hold one domain -> 1 positive; Ub hold two -> 2 positives."""
+    return 2 if group is ClientGroup.IN_BETWEEN else 1
+
+
+def dpcl_loss(
+    local_prompts: Tensor,
+    labels: np.ndarray,
+    store: GlobalPromptStore,
+    group: ClientGroup,
+    temperature: float,
+) -> Optional[Tensor]:
+    """Contrastive loss between locally generated prompts and global prompts.
+
+    Parameters
+    ----------
+    local_prompts:
+        CDAP output of shape ``(batch, prompt_length, d)``.
+    labels:
+        Integer class labels of the batch.
+    store:
+        The clustered global prompt store broadcast by the server.
+    group:
+        The client's increment group (determines the number of positives).
+    temperature:
+        The decayed temperature ``tau'``.
+
+    Returns
+    -------
+    A scalar loss tensor, or ``None`` when the store has no usable prompts yet
+    (first rounds of the first task) -- the caller simply omits the term.
+    """
+    if store.is_empty:
+        return None
+    if temperature <= 0:
+        raise ValueError("temperature must be positive")
+    labels = np.asarray(labels, dtype=np.int64)
+    pooled = local_prompts.mean(axis=1)  # (batch, d), differentiable
+    num_positives = _positive_count_for(group)
+
+    per_sample_losses = []
+    for index in range(pooled.shape[0]):
+        label = int(labels[index])
+        class_prompts = store.class_prompts(label)
+        negatives_pool = store.prompts_excluding(label)
+        if class_prompts.shape[0] == 0:
+            # No global knowledge about this class yet; skip the sample.
+            continue
+        anchor = pooled[index]  # (d,)
+        # Choose positives by cosine similarity against the (constant) globals.
+        anchor_values = anchor.data
+        similarities = _cosine_to_all(anchor_values, class_prompts)
+        take = min(num_positives, class_prompts.shape[0])
+        positive_idx = np.argsort(-similarities)[:take]
+        positives = class_prompts[positive_idx]
+        # Remaining same-class prompts join the negatives (they represent other domains).
+        remaining_idx = np.setdiff1d(np.arange(class_prompts.shape[0]), positive_idx)
+        negatives = class_prompts[remaining_idx]
+        if negatives_pool.shape[0] > 0:
+            negatives = (
+                np.concatenate([negatives, negatives_pool], axis=0)
+                if negatives.shape[0] > 0
+                else negatives_pool
+            )
+        if negatives.shape[0] == 0:
+            # Without negatives the InfoNCE ratio is degenerate; skip.
+            continue
+        pos_sim = F.cosine_similarity(
+            anchor.reshape(1, -1).broadcast_to((positives.shape[0], anchor_values.shape[0])),
+            Tensor(positives),
+        )
+        neg_sim = F.cosine_similarity(
+            anchor.reshape(1, -1).broadcast_to((negatives.shape[0], anchor_values.shape[0])),
+            Tensor(negatives),
+        )
+        pos_exp = (pos_sim * (1.0 / temperature)).exp().sum()
+        neg_exp = (neg_sim * (1.0 / temperature)).exp().sum()
+        per_sample_losses.append(-(pos_exp / (pos_exp + neg_exp)).log())
+
+    if not per_sample_losses:
+        return None
+    total = per_sample_losses[0]
+    for loss in per_sample_losses[1:]:
+        total = total + loss
+    return total * (1.0 / len(per_sample_losses))
+
+
+def _cosine_to_all(anchor: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+    """Plain-numpy cosine similarity of one vector against candidate rows."""
+    anchor_norm = anchor / max(np.linalg.norm(anchor), 1e-12)
+    candidate_norms = candidates / np.maximum(
+        np.linalg.norm(candidates, axis=1, keepdims=True), 1e-12
+    )
+    return candidate_norms @ anchor_norm
+
+
+__all__ = ["DPCLConfig", "decayed_temperature", "dpcl_loss"]

@@ -1,0 +1,41 @@
+"""Global Prompt Learning (GPL) loss, paper Eq. 12.
+
+The averaged global prompt matrix ``\\bar{P}_g`` (one representative prompt per
+class, built by :meth:`repro.core.prompts.GlobalPromptStore.averaged_prompt_matrix`)
+is injected as prompt tokens next to the image's feature-map tokens, and the
+classifier must still predict the correct class.  Because these prompt tokens
+summarise *other clients' domains*, minimising the cross-entropy on them forces
+the backbone to rely on domain-invariant evidence -- this is the mechanism by
+which RefFiL shares "diverse stimuli" across the federation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.models.backbone import PromptedBackbone
+
+
+def gpl_loss(
+    backbone: PromptedBackbone,
+    patch_tokens: Tensor,
+    labels: np.ndarray,
+    averaged_global_prompts: Optional[np.ndarray],
+) -> Optional[Tensor]:
+    """Cross-entropy of the global-prompt-conditioned prediction (Eq. 12).
+
+    Returns ``None`` while no global prompts exist yet (the very first rounds),
+    in which case the caller omits the term from the total objective.
+    """
+    if averaged_global_prompts is None or averaged_global_prompts.shape[0] == 0:
+        return None
+    prompts = Tensor(np.asarray(averaged_global_prompts, dtype=np.float64))
+    logits = backbone.forward_from_patches(patch_tokens, prompts)
+    return F.cross_entropy(logits, labels)
+
+
+__all__ = ["gpl_loss"]

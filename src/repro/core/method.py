@@ -1,0 +1,133 @@
+"""RefFiL as a pluggable :class:`repro.federated.FederatedMethod`.
+
+This is the object the experiment harness instantiates.  It wires together
+the composite model (backbone + CDAP), the client trainer (local losses of
+Eq. 13/12/9) and the server prompt aggregator (FedAvg + FINCH clustering),
+and exposes the ablation switches used in Table VII and the temperature
+hyper-parameters swept in Table VIII.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.core.client import RefFiLClientTrainer
+from repro.core.dpcl import DPCLConfig
+from repro.core.model import RefFiLModel
+from repro.core.server import RefFiLPromptAggregator, aggregate_with_prompts
+from repro.federated.client import ClientHandle
+from repro.federated.communication import ClientUpdate
+from repro.federated.method import FederatedMethod
+from repro.federated.server import FederatedServer
+from repro.models.backbone import BackboneConfig
+
+
+@dataclass(frozen=True)
+class RefFiLConfig:
+    """Everything that configures a RefFiL run besides the federated loop itself."""
+
+    backbone: BackboneConfig = field(default_factory=BackboneConfig)
+    prompt_length: int = 4
+    max_tasks: int = 8
+    dpcl: DPCLConfig = field(default_factory=DPCLConfig)
+    max_prompt_representatives: int = 8
+    use_cdap: bool = True
+    use_gpl: bool = True
+    use_dpcl: bool = True
+
+    def with_components(self, use_cdap: bool, use_gpl: bool, use_dpcl: bool) -> "RefFiLConfig":
+        """Return a copy with different ablation switches (Table VII rows)."""
+        return replace(self, use_cdap=use_cdap, use_gpl=use_gpl, use_dpcl=use_dpcl)
+
+
+class RefFiLMethod(FederatedMethod):
+    """The full RefFiL algorithm (Algorithm 1) behind the generic method interface."""
+
+    def __init__(self, config: RefFiLConfig) -> None:
+        if config.use_dpcl and not (config.use_gpl or config.use_cdap):
+            # The paper notes DPCL "cannot function in isolation": it needs the
+            # prompt-sharing machinery that CDAP/GPL provide.
+            raise ValueError("DPCL requires at least one of CDAP or GPL to be enabled")
+        self.config = config
+        self.name = self._build_name(config)
+        self.client_trainer = RefFiLClientTrainer(
+            dpcl_config=config.dpcl,
+            use_cdap=config.use_cdap,
+            use_gpl=config.use_gpl,
+            use_dpcl=config.use_dpcl,
+        )
+        self.prompt_aggregator = RefFiLPromptAggregator(
+            num_classes=config.backbone.num_classes,
+            embed_dim=config.backbone.embed_dim,
+            max_representatives=config.max_prompt_representatives,
+        )
+
+    @staticmethod
+    def _build_name(config: RefFiLConfig) -> str:
+        if config.use_cdap and config.use_gpl and config.use_dpcl:
+            return "RefFiL"
+        enabled = [
+            label
+            for label, flag in (
+                ("CDAP", config.use_cdap),
+                ("GPL", config.use_gpl),
+                ("DPCL", config.use_dpcl),
+            )
+            if flag
+        ]
+        return "RefFiL[" + "+".join(enabled) + "]" if enabled else "RefFiL[none]"
+
+    # ------------------------------------------------------------------ #
+    # FederatedMethod interface
+    # ------------------------------------------------------------------ #
+    def build_model(self) -> RefFiLModel:
+        return RefFiLModel(
+            backbone_config=self.config.backbone,
+            prompt_length=self.config.prompt_length,
+            max_tasks=self.config.max_tasks,
+        )
+
+    def local_update(
+        self,
+        model: RefFiLModel,
+        global_state: Dict[str, np.ndarray],
+        broadcast_payload: Dict[str, Any],
+        client: ClientHandle,
+    ) -> ClientUpdate:
+        # The broadcast payload carries the clustered store; rebuild the client view.
+        store = self.prompt_aggregator.store
+        if broadcast_payload:
+            store = self.prompt_aggregator.store.from_payload(
+                broadcast_payload,
+                num_classes=self.config.backbone.num_classes,
+                embed_dim=self.config.backbone.embed_dim,
+            )
+        return self.client_trainer.local_update(model, store, client)
+
+    def aggregate(self, server: FederatedServer, updates: List[ClientUpdate]) -> None:
+        aggregate_with_prompts(server, self.prompt_aggregator, updates)
+
+    def predict_logits(self, model: RefFiLModel, images: Tensor) -> Tensor:
+        """Inference: condition on CDAP prompts generated without the task ID.
+
+        The paper states the task ID is not used at inference; the generator's
+        task-agnostic path produces instance-level prompts from the tokens
+        alone, which matches the local-prompt path the L_CE objective trains.
+        When the generator is ablated away (Table VII rows without CDAP) the
+        averaged global prompts are used instead, falling back to a prompt-free
+        forward before any global prompts exist.
+        """
+        if self.config.use_cdap:
+            prompts = model.generate_prompts(images, task_id=None)
+            return model.backbone(images, prompts)
+        averaged = self.prompt_aggregator.store.averaged_prompt_matrix()
+        if averaged is None:
+            return model.backbone(images)
+        return model.backbone(images, Tensor(averaged))
+
+
+__all__ = ["RefFiLConfig", "RefFiLMethod"]

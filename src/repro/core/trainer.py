@@ -1,0 +1,45 @@
+"""One-call convenience wrapper used by the examples and the quickstart."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.continual.scenario import DomainIncrementalScenario
+from repro.core.method import RefFiLConfig, RefFiLMethod
+from repro.datasets.registry import build_dataset, get_dataset_spec
+from repro.datasets.synthetic import DomainDatasetSpec
+from repro.federated.config import FederatedConfig
+from repro.federated.simulation import FederatedDomainIncrementalSimulation, SimulationResult
+from repro.models.backbone import BackboneConfig
+
+
+def train_refil(
+    dataset_name: str = "office_caltech",
+    federated: Optional[FederatedConfig] = None,
+    refil: Optional[RefFiLConfig] = None,
+    dataset_spec: Optional[DomainDatasetSpec] = None,
+    num_tasks: Optional[int] = None,
+) -> SimulationResult:
+    """Train RefFiL on one of the registered datasets and return the run summary.
+
+    This is the 10-line happy path: build the synthetic dataset, wrap it in a
+    domain-incremental scenario, instantiate RefFiL with a backbone sized for
+    the dataset, and run the federated simulation.
+    """
+    spec = dataset_spec if dataset_spec is not None else get_dataset_spec(dataset_name)
+    dataset = build_dataset(dataset_name, spec_override=spec)
+    scenario = DomainIncrementalScenario(dataset, num_tasks=num_tasks)
+    federated = federated if federated is not None else FederatedConfig()
+    if refil is None:
+        backbone = BackboneConfig(
+            image_size=spec.image_size,
+            num_classes=spec.num_classes,
+            seed=federated.seed,
+        )
+        refil = RefFiLConfig(backbone=backbone, max_tasks=max(scenario.num_tasks, 1))
+    method = RefFiLMethod(refil)
+    simulation = FederatedDomainIncrementalSimulation(scenario, method, federated)
+    return simulation.run()
+
+
+__all__ = ["train_refil"]

@@ -1,0 +1,135 @@
+"""Dataset containers and mini-batch loading."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+class ArrayDataset:
+    """An in-memory dataset of images and integer labels.
+
+    Images are stored as a float array of shape ``(N, C, H, W)`` in ``[0, 1]``
+    and labels as an int array of shape ``(N,)``.
+    """
+
+    def __init__(self, images: np.ndarray, labels: np.ndarray) -> None:
+        images = np.asarray(images, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if images.ndim != 4:
+            raise ValueError(f"images must have shape (N, C, H, W), got {images.shape}")
+        if labels.ndim != 1 or labels.shape[0] != images.shape[0]:
+            raise ValueError(
+                f"labels shape {labels.shape} does not match images count {images.shape[0]}"
+            )
+        self.images = images
+        self.labels = labels
+
+    def __len__(self) -> int:
+        return self.images.shape[0]
+
+    def __getitem__(self, index) -> Tuple[np.ndarray, np.ndarray]:
+        return self.images[index], self.labels[index]
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.labels.max()) + 1 if len(self) else 0
+
+    def subset(self, indices: np.ndarray) -> "ArrayDataset":
+        """Return a new dataset containing only ``indices``."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return ArrayDataset(self.images[indices], self.labels[indices])
+
+    def class_counts(self, num_classes: Optional[int] = None) -> np.ndarray:
+        """Histogram of labels (length ``num_classes``)."""
+        total = num_classes if num_classes is not None else self.num_classes
+        return np.bincount(self.labels, minlength=total)
+
+    @staticmethod
+    def concatenate(datasets: Tuple["ArrayDataset", ...]) -> "ArrayDataset":
+        """Concatenate several datasets (used when in-between clients merge tasks)."""
+        datasets = tuple(d for d in datasets if len(d) > 0)
+        if not datasets:
+            raise ValueError("cannot concatenate zero non-empty datasets")
+        images = np.concatenate([d.images for d in datasets], axis=0)
+        labels = np.concatenate([d.labels for d in datasets], axis=0)
+        return ArrayDataset(images, labels)
+
+
+class DataLoader:
+    """Mini-batch iterator over an :class:`ArrayDataset`.
+
+    Yields ``(Tensor images, numpy labels)`` pairs.  Images stored in ``[0, 1]``
+    are normalised to ``[-1, 1]`` (the usual zero-centred input range), and
+    shuffling uses the provided generator so federated runs stay deterministic.
+    """
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int = 16,
+        shuffle: bool = True,
+        rng: Optional[np.random.Generator] = None,
+        drop_last: bool = False,
+        normalize: bool = True,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.normalize = normalize
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[Tensor, np.ndarray]]:
+        n = len(self.dataset)
+        order = np.arange(n)
+        if self.shuffle:
+            self._rng.shuffle(order)
+        end = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        for start in range(0, end, self.batch_size):
+            indices = order[start : start + self.batch_size]
+            images, labels = self.dataset[indices]
+            if self.normalize:
+                images = images * 2.0 - 1.0
+            yield Tensor(images), labels
+
+
+def train_test_split(
+    dataset: ArrayDataset,
+    test_fraction: float = 0.2,
+    rng: Optional[np.random.Generator] = None,
+    stratified: bool = True,
+) -> Tuple[ArrayDataset, ArrayDataset]:
+    """Split a dataset into train/test, optionally stratified by label."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    generator = rng if rng is not None else np.random.default_rng()
+    n = len(dataset)
+    if stratified:
+        test_indices = []
+        for label in np.unique(dataset.labels):
+            members = np.flatnonzero(dataset.labels == label)
+            generator.shuffle(members)
+            take = max(1, int(round(len(members) * test_fraction)))
+            test_indices.append(members[:take])
+        test_idx = np.concatenate(test_indices)
+    else:
+        order = generator.permutation(n)
+        test_idx = order[: max(1, int(round(n * test_fraction)))]
+    mask = np.zeros(n, dtype=bool)
+    mask[test_idx] = True
+    return dataset.subset(np.flatnonzero(~mask)), dataset.subset(np.flatnonzero(mask))
+
+
+__all__ = ["ArrayDataset", "DataLoader", "train_test_split"]

@@ -1,0 +1,108 @@
+"""Federated, non-iid quantity-shift data partitioning.
+
+The paper's FDIL setting (Sec. II) states that client datasets "are
+non-independent and identically distributed (non-iid), exhibiting a form of
+quantity shift": every client sees the same classes but with very different
+amounts of data.  :func:`quantity_shift_partition` draws per-client quantity
+shares from a Dirichlet distribution and splits each class's samples
+proportionally, so every client keeps every class (the domain-incremental
+requirement) while total data volume varies strongly across clients.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.datasets.base import ArrayDataset
+
+
+def quantity_shift_partition(
+    labels: np.ndarray,
+    num_clients: int,
+    rng: np.random.Generator,
+    concentration: float = 1.0,
+    min_per_client: int = 2,
+) -> List[np.ndarray]:
+    """Split sample indices across clients with quantity shift.
+
+    Parameters
+    ----------
+    labels:
+        Integer labels of every sample in the dataset being partitioned.
+    num_clients:
+        Number of partitions to create.
+    rng:
+        Random generator controlling both the Dirichlet draw and shuffling.
+    concentration:
+        Dirichlet concentration; smaller values produce more extreme quantity
+        imbalance (the paper contrasts "resource-rich and resource-poor
+        participants").
+    min_per_client:
+        Lower bound on samples per client so no client ends up empty.
+
+    Returns
+    -------
+    A list of ``num_clients`` index arrays covering all samples exactly once.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    if num_clients <= 0:
+        raise ValueError("num_clients must be positive")
+    if len(labels) < num_clients * min_per_client:
+        raise ValueError(
+            f"cannot give {min_per_client} samples to each of {num_clients} clients "
+            f"from only {len(labels)} samples"
+        )
+    shares = rng.dirichlet(np.full(num_clients, concentration))
+    # Avoid degenerate all-zero shares for some client.
+    shares = np.maximum(shares, 1e-3)
+    shares = shares / shares.sum()
+
+    client_indices: List[List[int]] = [[] for _ in range(num_clients)]
+    for label in np.unique(labels):
+        members = np.flatnonzero(labels == label)
+        rng.shuffle(members)
+        # Proportional allocation with largest-remainder rounding.
+        raw = shares * len(members)
+        counts = np.floor(raw).astype(int)
+        remainder = len(members) - counts.sum()
+        if remainder > 0:
+            order = np.argsort(-(raw - counts))
+            counts[order[:remainder]] += 1
+        start = 0
+        for client, count in enumerate(counts):
+            client_indices[client].extend(members[start : start + count].tolist())
+            start += count
+
+    # Enforce the per-client minimum by stealing from the largest partitions.
+    sizes = [len(indices) for indices in client_indices]
+    for client in range(num_clients):
+        while len(client_indices[client]) < min_per_client:
+            donor = int(np.argmax([len(indices) for indices in client_indices]))
+            if donor == client or len(client_indices[donor]) <= min_per_client:
+                break
+            client_indices[client].append(client_indices[donor].pop())
+    return [np.asarray(sorted(indices), dtype=np.int64) for indices in client_indices]
+
+
+def partition_domain_across_clients(
+    dataset: ArrayDataset,
+    client_ids: Sequence[int],
+    rng: np.random.Generator,
+    concentration: float = 1.0,
+) -> Dict[int, ArrayDataset]:
+    """Partition one domain's training data across the given clients.
+
+    Returns a mapping from client id to that client's local shard.
+    """
+    if not client_ids:
+        return {}
+    partitions = quantity_shift_partition(dataset.labels, len(client_ids), rng, concentration)
+    return {
+        client_id: dataset.subset(indices)
+        for client_id, indices in zip(client_ids, partitions)
+    }
+
+
+__all__ = ["quantity_shift_partition", "partition_domain_across_clients"]

@@ -1,0 +1,26 @@
+"""Experiment harness: regenerate every table of the paper's evaluation section.
+
+``repro.experiments.tables`` exposes one function per paper table
+(``table1_summary`` ... ``table8_temperature_sensitivity``); each returns a
+:class:`repro.experiments.reporting.ResultTable` whose rows mirror the paper's
+rows.  Scale presets (``tiny`` / ``small`` / ``paper``) trade fidelity for
+runtime; the benchmark suite runs ``tiny`` by default and can be scaled up
+with the ``REPRO_SCALE`` environment variable.
+"""
+
+from repro.experiments.config import ExperimentScale, ScaledExperimentConfig, get_scale, scaled_config
+from repro.experiments.runner import MethodRunResult, run_method_on_dataset, clear_run_cache
+from repro.experiments.reporting import ResultTable
+from repro.experiments import tables
+
+__all__ = [
+    "ExperimentScale",
+    "ScaledExperimentConfig",
+    "get_scale",
+    "scaled_config",
+    "MethodRunResult",
+    "run_method_on_dataset",
+    "clear_run_cache",
+    "ResultTable",
+    "tables",
+]

@@ -1,0 +1,374 @@
+"""Builders that regenerate every table of the paper's evaluation section.
+
+Each function mirrors one paper table:
+
+* :func:`table1_summary`      -- Table I   (Avg/Last on four datasets, default order)
+* :func:`table2_summary`      -- Table II  (same, shuffled domain order)
+* :func:`table3_per_task`     -- Table III (per-task step accuracies, default order)
+* :func:`table4_per_task`     -- Table IV  (per-task step accuracies, shuffled order)
+* :func:`table5_client_configs` -- Table V (OfficeCaltech10 under four selection/transfer configs)
+* :func:`table6_digits_selection` -- Table VI (Digits, select 10, 90% transfer)
+* :func:`table7_ablation`     -- Table VII (CDAP / GPL / DPCL component ablation)
+* :func:`table8_temperature_sensitivity` -- Table VIII (temperature-decay sweep)
+
+All builders accept a scale so the benchmark suite can run them at ``tiny``
+while offline reproduction runs use ``small`` or ``paper``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.dpcl import DPCLConfig
+from repro.datasets.registry import get_alternate_domain_order, get_dataset_spec
+from repro.experiments.config import ExperimentScale, scaled_config
+from repro.experiments.reporting import ResultTable
+from repro.experiments.runner import run_method_on_dataset
+
+#: The eight compared methods, in the paper's row order.
+COMPARED_METHODS: Tuple[str, ...] = (
+    "finetune",
+    "fedlwf",
+    "fedewc",
+    "fedl2p",
+    "fedl2p_pool",
+    "feddualprompt",
+    "feddualprompt_pool",
+    "refil",
+)
+
+#: Pretty row labels matching the paper's tables.
+METHOD_LABELS: Dict[str, str] = {
+    "finetune": "Finetune",
+    "fedlwf": "FedLwF",
+    "fedewc": "FedEWC",
+    "fedl2p": "FedL2P",
+    "fedl2p_pool": "FedL2P†",
+    "feddualprompt": "FedDualPrompt",
+    "feddualprompt_pool": "FedDualPrompt†",
+    "refil": "RefFiL",
+}
+
+#: The four evaluation datasets, in the paper's column order.
+TABLE_DATASETS: Tuple[str, ...] = ("digits_five", "office_caltech", "pacs", "fed_domainnet")
+
+
+def _alternate_order_indices(dataset_name: str) -> List[int]:
+    """Domain-index permutation implementing the paper's "new domain order"."""
+    spec = get_dataset_spec(dataset_name)
+    alternate = get_alternate_domain_order(dataset_name)
+    return [spec.domains.index(domain) for domain in alternate]
+
+
+# --------------------------------------------------------------------------- #
+# Tables I and II: Avg / Last summary over the four datasets
+# --------------------------------------------------------------------------- #
+def _summary_table(
+    title: str,
+    scale: Optional[ExperimentScale],
+    datasets: Sequence[str],
+    methods: Sequence[str],
+    seed: int,
+    use_alternate_order: bool,
+) -> ResultTable:
+    columns: List[str] = []
+    for dataset in datasets:
+        columns.extend([f"{dataset}:avg", f"{dataset}:last"])
+    table = ResultTable(title=title, columns=columns)
+    for method in methods:
+        values: Dict[str, float] = {}
+        for dataset in datasets:
+            config = scaled_config(dataset, scale=scale, seed=seed)
+            order = _alternate_order_indices(dataset) if use_alternate_order else None
+            result = run_method_on_dataset(method, config, domain_order=order)
+            pct = result.metrics.as_percentages()
+            values[f"{dataset}:avg"] = pct["avg"]
+            values[f"{dataset}:last"] = pct["last"]
+        table.add_row(METHOD_LABELS[method], values)
+    return table
+
+
+def table1_summary(
+    scale: Optional[ExperimentScale] = None,
+    datasets: Sequence[str] = TABLE_DATASETS,
+    methods: Sequence[str] = COMPARED_METHODS,
+    seed: int = 0,
+) -> ResultTable:
+    """Table I: Avg/Last accuracy of every method on every dataset (default domain order)."""
+    return _summary_table(
+        "Table I: summarised Avg/Last accuracy (default domain order)",
+        scale,
+        datasets,
+        methods,
+        seed,
+        use_alternate_order=False,
+    )
+
+
+def table2_summary(
+    scale: Optional[ExperimentScale] = None,
+    datasets: Sequence[str] = TABLE_DATASETS,
+    methods: Sequence[str] = COMPARED_METHODS,
+    seed: int = 0,
+) -> ResultTable:
+    """Table II: the Table I comparison repeated under the shuffled domain order."""
+    return _summary_table(
+        "Table II: summarised Avg/Last accuracy (new domain order)",
+        scale,
+        datasets,
+        methods,
+        seed,
+        use_alternate_order=True,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Tables III and IV: per-task step accuracies
+# --------------------------------------------------------------------------- #
+def _per_task_tables(
+    title_prefix: str,
+    scale: Optional[ExperimentScale],
+    datasets: Sequence[str],
+    methods: Sequence[str],
+    seed: int,
+    use_alternate_order: bool,
+) -> Dict[str, ResultTable]:
+    tables: Dict[str, ResultTable] = {}
+    for dataset in datasets:
+        config = scaled_config(dataset, scale=scale, seed=seed)
+        order = _alternate_order_indices(dataset) if use_alternate_order else None
+        first_result = run_method_on_dataset(methods[0], config, domain_order=order)
+        step_columns = list(first_result.domain_names)
+        table = ResultTable(
+            title=f"{title_prefix} on {dataset}",
+            columns=step_columns + ["Avg"],
+            notes="each domain column is the mean accuracy over seen tasks after that learning step",
+        )
+        for method in methods:
+            result = run_method_on_dataset(method, config, domain_order=order)
+            steps = result.metrics.step_averages_pct()
+            values = {name: steps[i] for i, name in enumerate(step_columns)}
+            values["Avg"] = result.metrics.as_percentages()["avg"]
+            table.add_row(METHOD_LABELS[method], values)
+        tables[dataset] = table
+    return tables
+
+
+def table3_per_task(
+    scale: Optional[ExperimentScale] = None,
+    datasets: Sequence[str] = TABLE_DATASETS,
+    methods: Sequence[str] = COMPARED_METHODS,
+    seed: int = 0,
+) -> Dict[str, ResultTable]:
+    """Table III: per-learning-step accuracy breakdown (default domain order)."""
+    return _per_task_tables("Table III: per-task accuracy", scale, datasets, methods, seed, False)
+
+
+def table4_per_task(
+    scale: Optional[ExperimentScale] = None,
+    datasets: Sequence[str] = TABLE_DATASETS,
+    methods: Sequence[str] = COMPARED_METHODS,
+    seed: int = 0,
+) -> Dict[str, ResultTable]:
+    """Table IV: per-learning-step accuracy breakdown (new domain order)."""
+    return _per_task_tables("Table IV: per-task accuracy", scale, datasets, methods, seed, True)
+
+
+# --------------------------------------------------------------------------- #
+# Tables V and VI: client-selection / task-transfer configurations
+# --------------------------------------------------------------------------- #
+#: Table V column groups: (label, selected clients in the paper's 10-client setup,
+#: transfer fraction).
+TABLE5_CONFIGS: Tuple[Tuple[str, int, float], ...] = (
+    ("sel8_80", 8, 0.8),
+    ("sel2_80", 2, 0.8),
+    ("sel5_50", 5, 0.5),
+    ("sel5_90", 5, 0.9),
+)
+
+
+def _scaled_selection(paper_selection: int, config_initial_clients: int, paper_clients: int = 10) -> int:
+    """Map the paper's 'select N of 10' to the preset's client population."""
+    return max(1, round(paper_selection * config_initial_clients / paper_clients))
+
+
+def _metric_table(
+    title: str,
+    dataset: str,
+    scale: Optional[ExperimentScale],
+    methods: Sequence[str],
+    seed: int,
+    clients_per_round_paper: int,
+    transfer_fraction: float,
+) -> ResultTable:
+    base = scaled_config(dataset, scale=scale, seed=seed)
+    selection = _scaled_selection(
+        clients_per_round_paper, base.federated.increment.initial_clients
+    )
+    config = scaled_config(
+        dataset,
+        scale=scale,
+        seed=seed,
+        clients_per_round=selection,
+        transfer_fraction=transfer_fraction,
+    )
+    table = ResultTable(title=title, columns=["AVG", "Last", "FGT", "BwT"])
+    for method in methods:
+        result = run_method_on_dataset(method, config)
+        pct = result.metrics.as_percentages()
+        table.add_row(
+            METHOD_LABELS[method],
+            {"AVG": pct["avg"], "Last": pct["last"], "FGT": pct["fgt"], "BwT": pct["bwt"]},
+        )
+    return table
+
+
+def table5_client_configs(
+    scale: Optional[ExperimentScale] = None,
+    methods: Sequence[str] = COMPARED_METHODS,
+    seed: int = 0,
+) -> Dict[str, ResultTable]:
+    """Table V: OfficeCaltech10 under four client-selection / task-transfer configurations."""
+    tables: Dict[str, ResultTable] = {}
+    for label, selection, transfer in TABLE5_CONFIGS:
+        tables[label] = _metric_table(
+            f"Table V ({label}): OfficeCaltech10, select {selection} of 10, "
+            f"{int(transfer * 100)}% task transfer",
+            "office_caltech",
+            scale,
+            methods,
+            seed,
+            clients_per_round_paper=selection,
+            transfer_fraction=transfer,
+        )
+    return tables
+
+
+def table6_digits_selection(
+    scale: Optional[ExperimentScale] = None,
+    methods: Sequence[str] = COMPARED_METHODS,
+    seed: int = 0,
+) -> ResultTable:
+    """Table VI: Digits-Five with 10 of 10 clients selected and 90% task transfer."""
+    return _metric_table(
+        "Table VI: Digits-Five, select 10, 90% task transfer",
+        "digits_five",
+        scale,
+        methods,
+        seed,
+        clients_per_round_paper=10,
+        transfer_fraction=0.9,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Table VII: component ablation
+# --------------------------------------------------------------------------- #
+#: Ablation rows: (label, registry method name) in the paper's order.
+TABLE7_ROWS: Tuple[Tuple[str, str], ...] = (
+    ("baseline (Finetune)", "finetune"),
+    ("CDAP", "refil_cdap"),
+    ("GPL", "refil_gpl"),
+    ("CDAP+GPL", "refil_cdap_gpl"),
+    ("GPL+DPCL", "refil_gpl_dpcl"),
+    ("CDAP+GPL+DPCL (RefFiL)", "refil"),
+)
+
+
+def table7_ablation(
+    scale: Optional[ExperimentScale] = None,
+    dataset: str = "office_caltech",
+    seed: int = 0,
+) -> ResultTable:
+    """Table VII: ablation of the CDAP / GPL / DPCL components on OfficeCaltech10."""
+    config = scaled_config(dataset, scale=scale, seed=seed)
+    table = ResultTable(
+        title="Table VII: RefFiL component ablation on OfficeCaltech10",
+        columns=["Avg", "Last", "dAvg", "dLast"],
+        notes="dAvg / dLast are improvements over the Finetune baseline row",
+    )
+    baseline_pct = None
+    for label, method in TABLE7_ROWS:
+        result = run_method_on_dataset(method, config)
+        pct = result.metrics.as_percentages()
+        if baseline_pct is None:
+            baseline_pct = pct
+        table.add_row(
+            label,
+            {
+                "Avg": pct["avg"],
+                "Last": pct["last"],
+                "dAvg": pct["avg"] - baseline_pct["avg"],
+                "dLast": pct["last"] - baseline_pct["last"],
+            },
+        )
+    return table
+
+
+# --------------------------------------------------------------------------- #
+# Table VIII: temperature-decay sensitivity
+# --------------------------------------------------------------------------- #
+#: Table VIII rows: (label, tau, tau_min, gamma, beta, enable_decay).
+TABLE8_CONFIGS: Tuple[Tuple[str, float, float, float, float, bool], ...] = (
+    ("exp1", 0.5, 0.2, 0.15, 0.10, True),
+    ("exp2", 0.5, 0.4, 0.05, 0.05, True),
+    ("exp3", 0.7, 0.3, 0.10, 0.05, True),
+    ("exp4", 0.9, 0.2, 0.05, 0.10, True),
+    ("exp5", 0.9, 0.4, 0.05, 0.01, True),
+    ("w/o tau'", 0.9, 0.3, 0.10, 0.05, False),
+    ("ours", 0.9, 0.3, 0.10, 0.05, True),
+)
+
+
+def table8_temperature_sensitivity(
+    scale: Optional[ExperimentScale] = None,
+    dataset: str = "office_caltech",
+    seed: int = 0,
+) -> ResultTable:
+    """Table VIII: sensitivity of RefFiL to the DPCL temperature-decay hyper-parameters."""
+    from repro.core.dpcl import decayed_temperature
+
+    config = scaled_config(dataset, scale=scale, seed=seed)
+    order = _alternate_order_indices(dataset)
+    table = ResultTable(
+        title="Table VIII: DPCL temperature-decay sensitivity on OfficeCaltech10 (new domain order)",
+        columns=["tau", "tau_min", "gamma", "beta", "tau3", "Avg", "Last"],
+        notes="tau3 is the decayed temperature at the third task; 'w/o tau'' disables decay",
+    )
+    for label, tau, tau_min, gamma, beta, enable_decay in TABLE8_CONFIGS:
+        dpcl = DPCLConfig(
+            tau=tau, tau_min=tau_min, gamma=gamma, beta=beta, enable_decay=enable_decay
+        )
+        result = run_method_on_dataset("refil", config, domain_order=order, dpcl=dpcl)
+        pct = result.metrics.as_percentages()
+        table.add_row(
+            label,
+            {
+                "tau": tau,
+                "tau_min": tau_min,
+                "gamma": gamma,
+                "beta": beta,
+                "tau3": decayed_temperature(dpcl, task_number=3),
+                "Avg": pct["avg"],
+                "Last": pct["last"],
+            },
+        )
+    return table
+
+
+__all__ = [
+    "COMPARED_METHODS",
+    "METHOD_LABELS",
+    "TABLE_DATASETS",
+    "TABLE5_CONFIGS",
+    "TABLE7_ROWS",
+    "TABLE8_CONFIGS",
+    "table1_summary",
+    "table2_summary",
+    "table3_per_task",
+    "table4_per_task",
+    "table5_client_configs",
+    "table6_digits_selection",
+    "table7_ablation",
+    "table8_temperature_sensitivity",
+]

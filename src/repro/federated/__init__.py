@@ -1,0 +1,45 @@
+"""Federated-learning substrate.
+
+This subpackage provides everything the paper's Algorithm 1 needs around the
+learning method itself: FedAvg aggregation weighted by local dataset size,
+per-round random client selection, the client-increment strategy that splits
+participants into Old / In-between / New groups, simple communication
+accounting, and the end-to-end federated domain-incremental simulation loop
+that drives any :class:`repro.federated.method.FederatedMethod` (RefFiL or a
+baseline) over a continual scenario.
+"""
+
+from repro.federated.aggregation import fedavg, weighted_average_arrays
+from repro.federated.sampling import sample_clients
+from repro.federated.increment import (
+    ClientGroup,
+    ClientIncrementSchedule,
+    ClientIncrementConfig,
+    TaskAssignment,
+)
+from repro.federated.communication import ClientUpdate, CommunicationLedger
+from repro.federated.client import ClientHandle, LocalTrainingConfig, run_local_sgd
+from repro.federated.server import FederatedServer
+from repro.federated.method import FederatedMethod
+from repro.federated.config import FederatedConfig
+from repro.federated.simulation import FederatedDomainIncrementalSimulation, SimulationResult
+
+__all__ = [
+    "fedavg",
+    "weighted_average_arrays",
+    "sample_clients",
+    "ClientGroup",
+    "ClientIncrementSchedule",
+    "ClientIncrementConfig",
+    "TaskAssignment",
+    "ClientUpdate",
+    "CommunicationLedger",
+    "ClientHandle",
+    "LocalTrainingConfig",
+    "run_local_sgd",
+    "FederatedServer",
+    "FederatedMethod",
+    "FederatedConfig",
+    "FederatedDomainIncrementalSimulation",
+    "SimulationResult",
+]

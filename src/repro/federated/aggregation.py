@@ -1,0 +1,64 @@
+"""FedAvg aggregation (McMahan et al., 2017), operating on flat state dicts.
+
+Paper Algorithm 1, line 8: the server forms the next global model as the
+data-size-weighted average of the selected participants' local models,
+``theta^{r+1} = sum_m (|D_m| / |D|) theta^r_m``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+def weighted_average_arrays(arrays: Sequence[np.ndarray], weights: Sequence[float]) -> np.ndarray:
+    """Weighted average of equally-shaped arrays with weights normalised to sum to one."""
+    if len(arrays) == 0:
+        raise ValueError("cannot average zero arrays")
+    if len(arrays) != len(weights):
+        raise ValueError("arrays and weights must have equal length")
+    weights = np.asarray(weights, dtype=np.float64)
+    if np.any(weights < 0):
+        raise ValueError("aggregation weights must be non-negative")
+    total = weights.sum()
+    if total <= 0:
+        raise ValueError("aggregation weights must not all be zero")
+    weights = weights / total
+    result = np.zeros_like(np.asarray(arrays[0], dtype=np.float64))
+    for array, weight in zip(arrays, weights):
+        array = np.asarray(array, dtype=np.float64)
+        if array.shape != result.shape:
+            raise ValueError(f"shape mismatch in aggregation: {array.shape} vs {result.shape}")
+        result += weight * array
+    return result
+
+
+def fedavg(
+    state_dicts: Sequence[Dict[str, np.ndarray]],
+    num_samples: Sequence[int],
+) -> Dict[str, np.ndarray]:
+    """Data-size-weighted FedAvg over client state dicts.
+
+    Every state dict must contain exactly the same keys (they all originate
+    from broadcasting the same global model).
+    """
+    if len(state_dicts) == 0:
+        raise ValueError("fedavg requires at least one client update")
+    if len(state_dicts) != len(num_samples):
+        raise ValueError("state_dicts and num_samples must have equal length")
+    reference_keys = set(state_dicts[0])
+    for index, state in enumerate(state_dicts[1:], start=1):
+        if set(state) != reference_keys:
+            raise ValueError(f"client update {index} has mismatching parameter names")
+    weights = [float(max(n, 0)) for n in num_samples]
+    if sum(weights) <= 0:
+        # Degenerate case (all clients report zero samples): fall back to uniform.
+        weights = [1.0] * len(state_dicts)
+    aggregated: Dict[str, np.ndarray] = {}
+    for key in state_dicts[0]:
+        aggregated[key] = weighted_average_arrays([state[key] for state in state_dicts], weights)
+    return aggregated
+
+
+__all__ = ["fedavg", "weighted_average_arrays"]

@@ -1,0 +1,107 @@
+"""Client-side abstractions: the per-round client handle and the shared local SGD loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.datasets.base import ArrayDataset, DataLoader
+from repro.federated.increment import ClientGroup
+from repro.nn.module import Module
+from repro.nn.optim import SGD
+
+
+@dataclass(frozen=True)
+class LocalTrainingConfig:
+    """Hyper-parameters of a client's local update (paper: E epochs of SGD)."""
+
+    local_epochs: int = 1
+    batch_size: int = 16
+    learning_rate: float = 0.03
+    momentum: float = 0.9
+    weight_decay: float = 0.0
+    max_grad_norm: Optional[float] = 5.0
+
+    def __post_init__(self) -> None:
+        if self.local_epochs < 1:
+            raise ValueError("local_epochs must be at least 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+
+
+@dataclass
+class ClientHandle:
+    """Everything a method needs to run one client's local update for one round.
+
+    The simulation constructs a fresh handle per (client, task); the ``group``
+    field tells prompt-based methods whether the client is Old, In-between or
+    New, which changes the DPCL positive/negative sampling (paper Sec. IV).
+    """
+
+    client_id: int
+    task_id: int
+    group: ClientGroup
+    dataset: ArrayDataset
+    rng: np.random.Generator
+    training: LocalTrainingConfig
+    domains_held: Tuple[int, ...] = ()
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def num_samples(self) -> int:
+        return len(self.dataset)
+
+    def loader(self, shuffle: bool = True) -> DataLoader:
+        return DataLoader(
+            self.dataset,
+            batch_size=self.training.batch_size,
+            shuffle=shuffle,
+            rng=self.rng,
+        )
+
+
+LossFn = Callable[[Module, Tensor, np.ndarray], Tensor]
+
+
+def run_local_sgd(
+    model: Module,
+    client: ClientHandle,
+    loss_fn: LossFn,
+    parameters=None,
+) -> float:
+    """Run ``local_epochs`` of SGD on the client's data and return the mean loss.
+
+    ``loss_fn(model, images, labels)`` computes the method's total loss for a
+    mini-batch; this is the hook through which Finetune (plain CE), FedLwF
+    (CE + KD), FedEWC (CE + Fisher penalty) and the prompt methods all reuse
+    the same loop.
+    """
+    trainable = parameters if parameters is not None else model.parameters()
+    trainable = [p for p in trainable if p.requires_grad]
+    optimizer = SGD(
+        trainable,
+        lr=client.training.learning_rate,
+        momentum=client.training.momentum,
+        weight_decay=client.training.weight_decay,
+        max_grad_norm=client.training.max_grad_norm,
+    )
+    model.train()
+    total_loss = 0.0
+    total_batches = 0
+    for _ in range(client.training.local_epochs):
+        for images, labels in client.loader():
+            optimizer.zero_grad()
+            loss = loss_fn(model, images, labels)
+            loss.backward()
+            optimizer.step()
+            total_loss += float(loss.data)
+            total_batches += 1
+    return total_loss / max(total_batches, 1)
+
+
+__all__ = ["LocalTrainingConfig", "ClientHandle", "run_local_sgd"]

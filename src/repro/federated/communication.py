@@ -1,0 +1,92 @@
+"""Client-to-server messages and communication accounting.
+
+RefFiL's pitch includes being deployable on "privacy-sensitive and
+resource-constrained devices", so the simulation tracks how many bytes each
+method ships per round: model weights (all methods) plus the averaged local
+prompt groups (RefFiL) or prompt pools (the dagger baselines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class ClientUpdate:
+    """Everything a selected client uploads at the end of a round.
+
+    Attributes
+    ----------
+    client_id:
+        The uploading client.
+    state_dict:
+        The locally trained model parameters.
+    num_samples:
+        Size of the client's local training set (the FedAvg weight).
+    payload:
+        Method-specific extras; RefFiL puts its per-class averaged local
+        prompt group (``LPG_m``) here, baselines leave it empty.
+    train_loss:
+        Mean local training loss (for logging / convergence monitoring).
+    """
+
+    client_id: int
+    state_dict: Dict[str, np.ndarray]
+    num_samples: int
+    payload: Dict[str, Any] = field(default_factory=dict)
+    train_loss: float = 0.0
+
+    def upload_bytes(self) -> int:
+        """Approximate upload size of this update in bytes."""
+        total = sum(np.asarray(value).nbytes for value in self.state_dict.values())
+        total += _payload_bytes(self.payload)
+        return total
+
+
+def _payload_bytes(payload: Any) -> int:
+    if isinstance(payload, np.ndarray):
+        return payload.nbytes
+    if isinstance(payload, dict):
+        return sum(_payload_bytes(value) for value in payload.values())
+    if isinstance(payload, (list, tuple)):
+        return sum(_payload_bytes(value) for value in payload)
+    if isinstance(payload, (int, float, bool)):
+        return 8
+    if isinstance(payload, str):
+        return len(payload.encode())
+    return 0
+
+
+@dataclass
+class CommunicationLedger:
+    """Accumulates per-round communication volume for a whole run."""
+
+    uploaded_bytes: int = 0
+    broadcast_bytes: int = 0
+    rounds: int = 0
+    per_round: List[Dict[str, int]] = field(default_factory=list)
+
+    def record_round(self, updates: List[ClientUpdate], broadcast_state: Dict[str, np.ndarray],
+                     broadcast_payload: Optional[Dict[str, Any]] = None) -> None:
+        """Account one communication round (uploads from clients + broadcast to them)."""
+        upload = sum(update.upload_bytes() for update in updates)
+        broadcast_one = sum(np.asarray(v).nbytes for v in broadcast_state.values())
+        broadcast_one += _payload_bytes(broadcast_payload or {})
+        broadcast = broadcast_one * max(len(updates), 1)
+        self.uploaded_bytes += upload
+        self.broadcast_bytes += broadcast
+        self.rounds += 1
+        self.per_round.append({"upload": upload, "broadcast": broadcast})
+
+    @property
+    def total_bytes(self) -> int:
+        return self.uploaded_bytes + self.broadcast_bytes
+
+    def mean_upload_per_round(self) -> float:
+        return self.uploaded_bytes / self.rounds if self.rounds else 0.0
+
+
+__all__ = ["ClientUpdate", "CommunicationLedger"]

@@ -1,0 +1,51 @@
+"""Configuration of a federated domain-incremental run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.federated.client import LocalTrainingConfig
+from repro.federated.increment import ClientIncrementConfig
+
+
+@dataclass(frozen=True)
+class FederatedConfig:
+    """Everything the simulation loop needs besides the method and the data.
+
+    Attributes
+    ----------
+    increment:
+        Client-population dynamics (initial clients, increment per task,
+        transfer fraction).
+    clients_per_round:
+        How many of the active clients are selected each communication round
+        (the paper's "10 initially selected" / "select 8 clients" settings).
+    rounds_per_task:
+        Global communication rounds per incremental task (R in Algorithm 1).
+    local:
+        Local SGD hyper-parameters shared by all clients.
+    partition_concentration:
+        Dirichlet concentration of the quantity-shift partitioner (smaller =
+        more extreme data-volume imbalance between clients).
+    seed:
+        Master seed; every stochastic component derives its stream from it.
+    """
+
+    increment: ClientIncrementConfig = field(default_factory=ClientIncrementConfig)
+    clients_per_round: int = 5
+    rounds_per_task: int = 3
+    local: LocalTrainingConfig = field(default_factory=LocalTrainingConfig)
+    partition_concentration: float = 1.0
+    eval_batch_size: int = 64
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.clients_per_round < 1:
+            raise ValueError("clients_per_round must be at least 1")
+        if self.rounds_per_task < 1:
+            raise ValueError("rounds_per_task must be at least 1")
+        if self.partition_concentration <= 0:
+            raise ValueError("partition_concentration must be positive")
+
+
+__all__ = ["FederatedConfig"]

@@ -1,0 +1,70 @@
+"""The method interface implemented by RefFiL and by every baseline.
+
+A :class:`FederatedMethod` encapsulates what differs between methods in the
+federated domain-incremental loop: how the model is built, what the local
+loss is, what extra payloads travel between clients and the server, how the
+server post-processes aggregation, and how inference is performed during
+evaluation.  The generic simulation
+(:class:`repro.federated.simulation.FederatedDomainIncrementalSimulation`)
+drives any implementation through the same Algorithm-1 skeleton so method
+comparisons differ only in the method itself.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.federated.client import ClientHandle
+from repro.federated.communication import ClientUpdate
+from repro.federated.server import FederatedServer
+from repro.nn.module import Module
+
+
+class FederatedMethod:
+    """Abstract strategy object; subclasses implement the method-specific hooks."""
+
+    #: Human-readable name used in result tables.
+    name: str = "abstract"
+
+    def build_model(self) -> Module:
+        """Construct the (client/global) model architecture."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle hooks (default: no-ops)
+    # ------------------------------------------------------------------ #
+    def on_task_start(self, task_id: int, server: FederatedServer) -> None:
+        """Called once when a new incremental task begins (before any round)."""
+
+    def on_task_end(self, task_id: int, server: FederatedServer) -> None:
+        """Called once after the final round of a task (before evaluation)."""
+
+    def on_round_start(self, task_id: int, round_index: int, server: FederatedServer) -> None:
+        """Called at the start of every communication round."""
+
+    # ------------------------------------------------------------------ #
+    # Core hooks
+    # ------------------------------------------------------------------ #
+    def local_update(
+        self,
+        model: Module,
+        global_state: Dict[str, np.ndarray],
+        broadcast_payload: Dict[str, Any],
+        client: ClientHandle,
+    ) -> ClientUpdate:
+        """Run one client's local training and return its update."""
+        raise NotImplementedError
+
+    def aggregate(self, server: FederatedServer, updates: List[ClientUpdate]) -> None:
+        """Aggregate client updates into the server (default: plain FedAvg)."""
+        server.aggregate(updates)
+
+    def predict_logits(self, model: Module, images: Tensor) -> Tensor:
+        """Inference path used by the evaluator (default: call the model directly)."""
+        return model(images)
+
+
+__all__ = ["FederatedMethod"]

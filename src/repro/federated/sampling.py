@@ -1,0 +1,32 @@
+"""Per-round random client selection (paper Algorithm 1, line 5)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+
+def sample_clients(
+    active_clients: Sequence[int],
+    count: int,
+    rng: np.random.Generator,
+) -> List[int]:
+    """Uniformly sample ``count`` distinct clients from the active set.
+
+    When fewer clients are active than requested, all active clients are
+    selected (the paper's smaller OfficeCaltech10 setup hits this case in the
+    first tasks).
+    """
+    active = list(active_clients)
+    if count <= 0:
+        raise ValueError("selection count must be positive")
+    if not active:
+        raise ValueError("cannot sample from an empty active client set")
+    if count >= len(active):
+        return sorted(active)
+    chosen = rng.choice(len(active), size=count, replace=False)
+    return sorted(active[i] for i in chosen)
+
+
+__all__ = ["sample_clients"]

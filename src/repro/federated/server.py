@@ -1,0 +1,58 @@
+"""Central server: holds the global model state and performs aggregation."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.federated.aggregation import fedavg
+from repro.federated.communication import ClientUpdate, CommunicationLedger
+from repro.nn.module import Module
+from repro.nn.serialization import clone_state_dict
+
+
+class FederatedServer:
+    """The global coordinator ``M_G`` of paper Algorithm 1.
+
+    The server owns the canonical global model state, broadcasts it (plus any
+    method-specific payload such as clustered global prompts) to selected
+    clients, aggregates their updates with FedAvg and tracks communication
+    volume.
+    """
+
+    def __init__(self, model: Module) -> None:
+        self.model = model
+        self.global_state: Dict[str, np.ndarray] = model.state_dict()
+        self.broadcast_payload: Dict[str, Any] = {}
+        self.ledger = CommunicationLedger()
+        self.round_counter = 0
+
+    def broadcast(self) -> Dict[str, np.ndarray]:
+        """Return a copy of the global state for a client to load."""
+        return clone_state_dict(self.global_state)
+
+    def aggregate(self, updates: List[ClientUpdate]) -> Dict[str, np.ndarray]:
+        """FedAvg the updates into a new global state (weighted by |D_m|)."""
+        if not updates:
+            raise ValueError("cannot aggregate zero client updates")
+        new_state = fedavg(
+            [update.state_dict for update in updates],
+            [update.num_samples for update in updates],
+        )
+        self.global_state = new_state
+        self.model.load_state_dict(new_state)
+        self.ledger.record_round(updates, new_state, self.broadcast_payload)
+        self.round_counter += 1
+        return new_state
+
+    def load_into(self, model: Module) -> None:
+        """Load the current global state into an arbitrary model instance."""
+        model.load_state_dict(self.global_state)
+
+    def set_broadcast_payload(self, payload: Dict[str, Any]) -> None:
+        """Attach method-specific broadcast content (e.g. RefFiL's global prompts)."""
+        self.broadcast_payload = payload
+
+
+__all__ = ["FederatedServer"]

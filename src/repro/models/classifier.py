@@ -1,0 +1,31 @@
+"""Classifier head ``G`` reading the final [CLS] token (paper Eq. 3)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+
+
+class ClsClassifier(Module):
+    """Linear classifier applied to the [CLS] token after the attention block."""
+
+    def __init__(self, embed_dim: int, num_classes: int, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.embed_dim = embed_dim
+        self.num_classes = num_classes
+        self.head = Linear(embed_dim, num_classes, rng=rng)
+
+    def forward(self, cls_token: Tensor) -> Tensor:
+        if cls_token.ndim != 2 or cls_token.shape[-1] != self.embed_dim:
+            raise ValueError(
+                f"classifier expects (batch, {self.embed_dim}) [CLS] embeddings, got {cls_token.shape}"
+            )
+        return self.head(cls_token)
+
+
+__all__ = ["ClsClassifier"]

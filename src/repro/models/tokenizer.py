@@ -1,0 +1,69 @@
+"""Frozen feature-map tokenizer (patch embedding).
+
+The paper describes "a simple embedding model as the feature map tokenizer,
+similar to ViT, with initialized-only and frozen parameters".  Here a 1x1
+convolution projects the CNN feature map to the token dimension ``d`` and the
+spatial grid is flattened into ``n`` patch tokens.  Its parameters are frozen
+at construction and a fixed sinusoidal positional encoding is added so the
+attention block can distinguish patch locations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.nn.conv import Conv2d
+from repro.nn.module import Module
+
+
+def sinusoidal_positions(num_positions: int, dim: int) -> np.ndarray:
+    """Standard transformer sinusoidal positional encoding of shape (num_positions, dim)."""
+    positions = np.arange(num_positions)[:, None].astype(np.float64)
+    dims = np.arange(dim)[None, :].astype(np.float64)
+    angle_rates = 1.0 / np.power(10000.0, (2 * (dims // 2)) / dim)
+    angles = positions * angle_rates
+    encoding = np.zeros((num_positions, dim))
+    encoding[:, 0::2] = np.sin(angles[:, 0::2])
+    encoding[:, 1::2] = np.cos(angles[:, 1::2])
+    return encoding
+
+
+class PatchTokenizer(Module):
+    """Project a ``(N, C, H, W)`` feature map to ``(N, H*W, d)`` patch tokens."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        embed_dim: int,
+        max_positions: int = 256,
+        positional_scale: float = 0.2,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.embed_dim = embed_dim
+        self.projection = Conv2d(in_channels, embed_dim, 1, rng=rng)
+        # The positional encoding is scaled down so it augments rather than
+        # dominates the projected feature tokens.
+        self.register_buffer(
+            "positional", positional_scale * sinusoidal_positions(max_positions, embed_dim)
+        )
+        # Paper: the tokenizer is "initialized-only and frozen".
+        self.freeze()
+
+    def forward(self, feature_map: Tensor) -> Tensor:
+        batch, _, height, width = feature_map.shape
+        projected = self.projection(feature_map)  # (N, d, H, W)
+        tokens = projected.reshape(batch, self.embed_dim, height * width).transpose(0, 2, 1)
+        num_tokens = height * width
+        if num_tokens > self.positional.shape[0]:
+            raise ValueError(
+                f"feature map yields {num_tokens} tokens but tokenizer supports at most "
+                f"{self.positional.shape[0]}; increase max_positions"
+            )
+        return tokens + Tensor(self.positional[:num_tokens])
+
+
+__all__ = ["PatchTokenizer", "sinusoidal_positions"]

@@ -1,0 +1,57 @@
+"""2-D convolution layer."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+
+
+class Conv2d(Module):
+    """Standard 2-D convolution over ``(N, C, H, W)`` inputs."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Parameter(
+            init.kaiming_uniform(
+                (out_channels, in_channels, kernel_size, kernel_size), fan_in=fan_in, rng=rng
+            )
+        )
+        if bias:
+            bound = 1.0 / np.sqrt(max(fan_in, 1))
+            generator = rng if rng is not None else np.random.default_rng()
+            self.bias = Parameter(generator.uniform(-bound, bound, size=(out_channels,)))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Conv2d({self.in_channels}, {self.out_channels}, k={self.kernel_size}, "
+            f"s={self.stride}, p={self.padding})"
+        )
+
+
+__all__ = ["Conv2d"]

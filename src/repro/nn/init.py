@@ -1,0 +1,39 @@
+"""Weight initialisation helpers (deterministic given an explicit generator)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def _rng(rng: Optional[np.random.Generator]) -> np.random.Generator:
+    return rng if rng is not None else np.random.default_rng()
+
+
+def kaiming_uniform(shape: Tuple[int, ...], fan_in: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """He/Kaiming uniform initialisation suited to ReLU networks."""
+    bound = np.sqrt(6.0 / max(fan_in, 1))
+    return _rng(rng).uniform(-bound, bound, size=shape)
+
+
+def xavier_uniform(shape: Tuple[int, ...], fan_in: int, fan_out: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation."""
+    bound = np.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return _rng(rng).uniform(-bound, bound, size=shape)
+
+
+def normal(shape: Tuple[int, ...], std: float = 0.02, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Gaussian initialisation with the given standard deviation."""
+    return _rng(rng).normal(0.0, std, size=shape)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape, dtype=np.float64)
+
+
+__all__ = ["kaiming_uniform", "xavier_uniform", "normal", "zeros", "ones"]

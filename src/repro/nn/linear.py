@@ -1,0 +1,45 @@
+"""Fully-connected layer."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+
+
+class Linear(Module):
+    """Affine transform ``y = x W^T + b`` over the last input dimension."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init.kaiming_uniform((out_features, in_features), fan_in=in_features, rng=rng)
+        )
+        if bias:
+            bound = 1.0 / np.sqrt(max(in_features, 1))
+            generator = rng if rng is not None else np.random.default_rng()
+            self.bias = Parameter(generator.uniform(-bound, bound, size=(out_features,)))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Linear({self.in_features}, {self.out_features}, bias={self.bias is not None})"
+
+
+__all__ = ["Linear"]

@@ -1,0 +1,45 @@
+"""Loss modules wrapping the functional losses."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+
+class CrossEntropyLoss(Module):
+    """Cross-entropy between logits and integer targets (paper Eq. 13)."""
+
+    def __init__(self, reduction: str = "mean") -> None:
+        super().__init__()
+        self.reduction = reduction
+
+    def forward(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        return F.cross_entropy(logits, targets, reduction=self.reduction)
+
+
+class KnowledgeDistillationLoss(Module):
+    """Temperature-scaled distillation loss used by the FedLwF baseline."""
+
+    def __init__(self, temperature: float = 2.0) -> None:
+        super().__init__()
+        if temperature <= 0:
+            raise ValueError("temperature must be positive")
+        self.temperature = temperature
+
+    def forward(self, student_logits: Tensor, teacher_logits: Tensor) -> Tensor:
+        return F.knowledge_distillation_loss(student_logits, teacher_logits, self.temperature)
+
+
+class MSELoss(Module):
+    def __init__(self, reduction: str = "mean") -> None:
+        super().__init__()
+        self.reduction = reduction
+
+    def forward(self, prediction: Tensor, target: Tensor) -> Tensor:
+        return F.mse_loss(prediction, target, reduction=self.reduction)
+
+
+__all__ = ["CrossEntropyLoss", "KnowledgeDistillationLoss", "MSELoss"]

@@ -1,0 +1,55 @@
+"""Multi-layer perceptron block used in the attention block and the CDAP generator."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.nn.activation import GELU, ReLU
+from repro.nn.dropout import Dropout
+from repro.nn.linear import Linear
+from repro.nn.module import Module, ModuleList
+
+
+class MLP(Module):
+    """A configurable stack of ``Linear -> activation`` layers.
+
+    The final layer has no activation so the block can be used both as a
+    transformer feed-forward network and as a projection head.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_features: Sequence[int],
+        out_features: int,
+        activation: str = "gelu",
+        dropout: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if activation not in ("gelu", "relu"):
+            raise ValueError(f"unsupported activation {activation!r}")
+        dims = [in_features, *hidden_features, out_features]
+        layers = []
+        for index, (d_in, d_out) in enumerate(zip(dims[:-1], dims[1:])):
+            layers.append(Linear(d_in, d_out, rng=rng))
+        self.layers = ModuleList(layers)
+        self.activation = GELU() if activation == "gelu" else ReLU()
+        self.dropout = Dropout(dropout, rng=rng) if dropout > 0 else None
+        self.out_features = out_features
+
+    def forward(self, x: Tensor) -> Tensor:
+        total = len(self.layers)
+        for index, layer in enumerate(self.layers):
+            x = layer(x)
+            if index < total - 1:
+                x = self.activation(x)
+                if self.dropout is not None:
+                    x = self.dropout(x)
+        return x
+
+
+__all__ = ["MLP"]

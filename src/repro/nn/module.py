@@ -1,0 +1,223 @@
+"""Module / Parameter container system (a compact ``torch.nn.Module`` analogue).
+
+Modules track parameters, buffers and sub-modules by attribute assignment and
+expose ``state_dict`` / ``load_state_dict`` for the FedAvg aggregation in
+:mod:`repro.federated.aggregation`, which operates directly on flat
+name-to-array dictionaries.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` that is registered as trainable by a :class:`Module`."""
+
+    def __init__(self, data, requires_grad: bool = True, name: Optional[str] = None) -> None:
+        super().__init__(data, requires_grad=requires_grad, name=name)
+
+
+class Module:
+    """Base class for all neural-network modules."""
+
+    def __init__(self) -> None:
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._buffers: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self.training = True
+
+    # ------------------------------------------------------------------ #
+    # Registration by attribute assignment
+    # ------------------------------------------------------------------ #
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, array: np.ndarray) -> None:
+        """Register a non-trainable persistent array (e.g. BatchNorm running stats)."""
+        self._buffers[name] = np.asarray(array, dtype=np.float64)
+        object.__setattr__(self, name, self._buffers[name])
+
+    def register_parameter(self, name: str, parameter: Parameter) -> None:
+        self._parameters[name] = parameter
+        object.__setattr__(self, name, parameter)
+
+    def add_module(self, name: str, module: "Module") -> None:
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    # ------------------------------------------------------------------ #
+    # Traversal
+    # ------------------------------------------------------------------ #
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield prefix + name, param
+        for child_name, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def parameters(self) -> List[Parameter]:
+        return [param for _, param in self.named_parameters()]
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        for name, buffer in self._buffers.items():
+            yield prefix + name, buffer
+        for child_name, child in self._modules.items():
+            yield from child.named_buffers(prefix=f"{prefix}{child_name}.")
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield prefix.rstrip("."), self
+        for child_name, child in self._modules.items():
+            yield from child.named_modules(prefix=f"{prefix}{child_name}.")
+
+    def children(self) -> List["Module"]:
+        return list(self._modules.values())
+
+    # ------------------------------------------------------------------ #
+    # Modes / gradients
+    # ------------------------------------------------------------------ #
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for child in self._modules.values():
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def freeze(self) -> "Module":
+        """Mark every parameter as non-trainable (used for the frozen tokenizer)."""
+        for param in self.parameters():
+            param.requires_grad = False
+        return self
+
+    def unfreeze(self) -> "Module":
+        for param in self.parameters():
+            param.requires_grad = True
+        return self
+
+    def num_parameters(self, trainable_only: bool = False) -> int:
+        return sum(
+            p.size for p in self.parameters() if (p.requires_grad or not trainable_only)
+        )
+
+    # ------------------------------------------------------------------ #
+    # State dict
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Flat name -> array copy of every parameter and buffer."""
+        state: Dict[str, np.ndarray] = OrderedDict()
+        for name, param in self.named_parameters():
+            state[name] = param.data.copy()
+        for name, buffer in self.named_buffers():
+            state[f"buffer::{name}"] = buffer.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        """Load arrays produced by :meth:`state_dict` (in place)."""
+        param_map = dict(self.named_parameters())
+        buffer_map = dict(self.named_buffers())
+        missing: List[str] = []
+        for name, param in param_map.items():
+            if name in state:
+                value = np.asarray(state[name])
+                if value.shape != param.data.shape:
+                    raise ValueError(
+                        f"shape mismatch for parameter {name!r}: "
+                        f"{value.shape} vs {param.data.shape}"
+                    )
+                param.data[...] = value
+            elif strict:
+                missing.append(name)
+        for name, buffer in buffer_map.items():
+            key = f"buffer::{name}"
+            if key in state:
+                buffer[...] = np.asarray(state[key])
+            elif strict:
+                missing.append(key)
+        if strict and missing:
+            raise KeyError(f"missing keys in state_dict: {missing}")
+
+    # ------------------------------------------------------------------ #
+    # Forward
+    # ------------------------------------------------------------------ #
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class Sequential(Module):
+    """Run a list of modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._order: List[str] = []
+        for index, module in enumerate(modules):
+            name = str(index)
+            self.add_module(name, module)
+            self._order.append(name)
+
+    def append(self, module: Module) -> "Sequential":
+        name = str(len(self._order))
+        self.add_module(name, module)
+        self._order.append(name)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __iter__(self):
+        return iter(self._modules[name] for name in self._order)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._modules[self._order[index]]
+
+    def forward(self, x):
+        for name in self._order:
+            x = self._modules[name](x)
+        return x
+
+
+class ModuleList(Module):
+    """A list of sub-modules that are all properly registered."""
+
+    def __init__(self, modules: Optional[List[Module]] = None) -> None:
+        super().__init__()
+        self._order: List[str] = []
+        for module in modules or []:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        name = str(len(self._order))
+        self.add_module(name, module)
+        self._order.append(name)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __iter__(self):
+        return iter(self._modules[name] for name in self._order)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._modules[self._order[index]]
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - containers have no forward
+        raise NotImplementedError("ModuleList is a container and cannot be called")
+
+
+__all__ = ["Module", "Parameter", "Sequential", "ModuleList"]

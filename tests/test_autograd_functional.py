@@ -1,0 +1,229 @@
+"""Gradient checks and behavioural tests for the neural-network functionals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, functional as F
+from repro.autograd.grad_check import check_gradient, numerical_gradient
+
+RNG = np.random.default_rng(42)
+
+
+class TestActivations:
+    def test_relu_matches_numpy(self):
+        x = RNG.standard_normal((3, 4))
+        assert np.allclose(F.relu(Tensor(x)).data, np.maximum(x, 0))
+
+    def test_softmax_rows_sum_to_one(self):
+        x = Tensor(RNG.standard_normal((5, 7)))
+        probs = F.softmax(x).data
+        assert np.allclose(probs.sum(axis=-1), 1.0)
+        assert np.all(probs >= 0)
+
+    def test_softmax_invariant_to_shift(self):
+        x = RNG.standard_normal((2, 4))
+        assert np.allclose(F.softmax(Tensor(x)).data, F.softmax(Tensor(x + 100.0)).data)
+
+    def test_log_softmax_is_log_of_softmax(self):
+        x = Tensor(RNG.standard_normal((3, 6)))
+        assert np.allclose(F.log_softmax(x).data, np.log(F.softmax(x).data), atol=1e-8)
+
+    def test_gelu_close_to_identity_for_large_positive(self):
+        x = Tensor(np.array([5.0]))
+        assert F.gelu(x).data == pytest.approx(5.0, abs=1e-3)
+
+    def test_gelu_gradient(self):
+        x = Tensor(RNG.standard_normal((3, 3)), requires_grad=True)
+        assert check_gradient(lambda t: F.gelu(t).sum(), [x])
+
+
+class TestLinearAndNorm:
+    def test_linear_matches_manual(self):
+        x, w, b = RNG.standard_normal((4, 3)), RNG.standard_normal((5, 3)), RNG.standard_normal(5)
+        out = F.linear(Tensor(x), Tensor(w), Tensor(b))
+        assert np.allclose(out.data, x @ w.T + b)
+
+    def test_layer_norm_zero_mean_unit_var(self):
+        x = Tensor(RNG.standard_normal((6, 16)))
+        normed = F.layer_norm(x).data
+        assert np.allclose(normed.mean(axis=-1), 0.0, atol=1e-6)
+        assert np.allclose(normed.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_layer_norm_gradcheck(self):
+        x = Tensor(RNG.standard_normal((2, 3, 8)), requires_grad=True)
+        w = Tensor(RNG.standard_normal(8), requires_grad=True)
+        b = Tensor(RNG.standard_normal(8), requires_grad=True)
+        assert check_gradient(lambda x, w, b: F.layer_norm(x, w, b).sum(), [x, w, b], wrt=0)
+        assert check_gradient(lambda x, w, b: F.layer_norm(x, w, b).sum(), [x, w, b], wrt=1)
+
+    def test_batch_norm_training_normalises(self):
+        x = Tensor(RNG.standard_normal((8, 4, 5, 5)) * 3 + 2)
+        weight, bias = Tensor(np.ones(4)), Tensor(np.zeros(4))
+        running_mean, running_var = np.zeros(4), np.ones(4)
+        out = F.batch_norm_2d(x, weight, bias, running_mean, running_var, training=True)
+        assert np.allclose(out.data.mean(axis=(0, 2, 3)), 0.0, atol=1e-6)
+        assert not np.allclose(running_mean, 0.0)
+
+    def test_batch_norm_eval_uses_running_stats(self):
+        x = Tensor(RNG.standard_normal((4, 2, 3, 3)))
+        weight, bias = Tensor(np.ones(2)), Tensor(np.zeros(2))
+        running_mean, running_var = np.array([5.0, -5.0]), np.array([1.0, 1.0])
+        out = F.batch_norm_2d(x, weight, bias, running_mean, running_var, training=False)
+        assert np.allclose(out.data[:, 0], x.data[:, 0] - 5.0, atol=1e-2)
+
+    def test_l2_normalize_unit_norm(self):
+        x = Tensor(RNG.standard_normal((5, 8)))
+        norms = np.linalg.norm(F.l2_normalize(x).data, axis=-1)
+        assert np.allclose(norms, 1.0)
+
+    def test_cosine_similarity_bounds_and_self(self):
+        x = Tensor(RNG.standard_normal((4, 6)))
+        sims = F.cosine_similarity(x, x).data
+        assert np.allclose(sims, 1.0)
+        y = Tensor(-x.data)
+        assert np.allclose(F.cosine_similarity(x, y).data, -1.0)
+
+    def test_cosine_similarity_gradcheck(self):
+        a = Tensor(RNG.standard_normal((3, 5)), requires_grad=True)
+        b = Tensor(RNG.standard_normal((3, 5)), requires_grad=True)
+        assert check_gradient(lambda a, b: F.cosine_similarity(a, b).sum(), [a, b], wrt=0)
+        assert check_gradient(lambda a, b: F.cosine_similarity(a, b).sum(), [a, b], wrt=1)
+
+
+class TestConvolutionAndPooling:
+    def test_conv2d_output_shape(self):
+        x = Tensor(RNG.standard_normal((2, 3, 8, 8)))
+        w = Tensor(RNG.standard_normal((5, 3, 3, 3)))
+        assert F.conv2d(x, w, stride=1, padding=1).shape == (2, 5, 8, 8)
+        assert F.conv2d(x, w, stride=2, padding=1).shape == (2, 5, 4, 4)
+        assert F.conv2d(x, w, stride=1, padding=0).shape == (2, 5, 6, 6)
+
+    def test_conv2d_channel_mismatch_raises(self):
+        x = Tensor(RNG.standard_normal((1, 2, 4, 4)))
+        w = Tensor(RNG.standard_normal((3, 5, 3, 3)))
+        with pytest.raises(ValueError):
+            F.conv2d(x, w)
+
+    def test_conv2d_matches_direct_computation(self):
+        x = RNG.standard_normal((1, 1, 3, 3))
+        w = RNG.standard_normal((1, 1, 3, 3))
+        out = F.conv2d(Tensor(x), Tensor(w), stride=1, padding=0)
+        assert out.data[0, 0, 0, 0] == pytest.approx(float((x[0, 0] * w[0, 0]).sum()))
+
+    def test_conv2d_gradcheck_all_inputs(self):
+        x = Tensor(RNG.standard_normal((2, 2, 5, 5)), requires_grad=True)
+        w = Tensor(RNG.standard_normal((3, 2, 3, 3)), requires_grad=True)
+        b = Tensor(RNG.standard_normal(3), requires_grad=True)
+        fn = lambda x, w, b: F.conv2d(x, w, b, stride=2, padding=1).sum()
+        assert check_gradient(fn, [x, w, b], wrt=0)
+        assert check_gradient(fn, [x, w, b], wrt=1)
+        assert check_gradient(fn, [x, w, b], wrt=2)
+
+    def test_max_pool_shape_and_value(self):
+        data = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        pooled = F.max_pool2d(Tensor(data), 2)
+        assert pooled.shape == (1, 1, 2, 2)
+        assert np.allclose(pooled.data[0, 0], [[5, 7], [13, 15]])
+
+    def test_avg_pool_value(self):
+        data = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        pooled = F.avg_pool2d(Tensor(data), 2)
+        assert np.allclose(pooled.data[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_pool_gradchecks(self):
+        x = Tensor(RNG.standard_normal((2, 3, 6, 6)), requires_grad=True)
+        assert check_gradient(lambda x: F.max_pool2d(x, 2).sum(), [x])
+        assert check_gradient(lambda x: F.avg_pool2d(x, 2).sum(), [x])
+
+    def test_global_avg_pool(self):
+        x = RNG.standard_normal((2, 3, 4, 4))
+        assert np.allclose(F.global_avg_pool2d(Tensor(x)).data, x.mean(axis=(2, 3)))
+
+
+class TestLosses:
+    def test_cross_entropy_matches_manual(self):
+        logits = RNG.standard_normal((4, 3))
+        targets = np.array([0, 1, 2, 1])
+        log_probs = logits - np.log(np.exp(logits).sum(axis=1, keepdims=True))
+        expected = -log_probs[np.arange(4), targets].mean()
+        assert F.cross_entropy(Tensor(logits), targets).data == pytest.approx(expected)
+
+    def test_cross_entropy_reductions(self):
+        logits = Tensor(RNG.standard_normal((4, 3)))
+        targets = np.array([0, 1, 2, 1])
+        none = F.cross_entropy(logits, targets, reduction="none")
+        assert none.shape == (4,)
+        assert F.cross_entropy(logits, targets, reduction="sum").data == pytest.approx(
+            none.data.sum()
+        )
+        with pytest.raises(ValueError):
+            F.nll_loss(F.log_softmax(logits), targets, reduction="bogus")
+
+    def test_cross_entropy_gradcheck(self):
+        logits = Tensor(RNG.standard_normal((5, 4)), requires_grad=True)
+        targets = RNG.integers(0, 4, 5)
+        assert check_gradient(lambda l: F.cross_entropy(l, targets), [logits])
+
+    def test_perfect_prediction_loss_near_zero(self):
+        logits = np.full((2, 3), -20.0)
+        logits[0, 1] = 20.0
+        logits[1, 2] = 20.0
+        assert F.cross_entropy(Tensor(logits), np.array([1, 2])).data == pytest.approx(0.0, abs=1e-6)
+
+    def test_soft_cross_entropy_matches_hard_on_onehot(self):
+        logits = Tensor(RNG.standard_normal((3, 4)))
+        targets = np.array([1, 0, 3])
+        onehot = Tensor(np.eye(4)[targets])
+        assert F.soft_cross_entropy(logits, onehot).data == pytest.approx(
+            float(F.cross_entropy(logits, targets).data)
+        )
+
+    def test_kd_loss_zero_when_identical(self):
+        logits = Tensor(RNG.standard_normal((4, 5)))
+        loss = F.knowledge_distillation_loss(logits, logits, temperature=2.0)
+        probs = F.softmax(logits / 2.0).data
+        entropy = -(probs * np.log(probs)).sum(axis=1).mean() * 4.0
+        assert loss.data == pytest.approx(entropy, rel=1e-6)
+
+    def test_kd_loss_decreases_as_student_approaches_teacher(self):
+        teacher = Tensor(np.array([[4.0, 0.0, 0.0]]))
+        far = Tensor(np.array([[0.0, 4.0, 0.0]]))
+        near = Tensor(np.array([[3.0, 0.5, 0.0]]))
+        assert F.knowledge_distillation_loss(near, teacher).data < F.knowledge_distillation_loss(
+            far, teacher
+        ).data
+
+    def test_mse_loss(self):
+        a, b = Tensor(np.array([1.0, 2.0])), Tensor(np.array([2.0, 4.0]))
+        assert F.mse_loss(a, b).data == pytest.approx(2.5)
+        assert F.mse_loss(a, b, reduction="sum").data == pytest.approx(5.0)
+
+    def test_embedding_lookup(self):
+        table = Tensor(np.arange(12, dtype=float).reshape(4, 3), requires_grad=True)
+        out = F.embedding(table, np.array([1, 1, 3]))
+        assert np.allclose(out.data[0], [3, 4, 5])
+        out.sum().backward()
+        assert table.grad[1].sum() == pytest.approx(6.0)
+        assert table.grad[0].sum() == pytest.approx(0.0)
+
+
+class TestDropout:
+    def test_dropout_eval_is_identity(self):
+        x = Tensor(RNG.standard_normal((10, 10)))
+        assert np.allclose(F.dropout(x, 0.5, training=False).data, x.data)
+
+    def test_dropout_training_zeroes_and_rescales(self):
+        x = Tensor(np.ones((200, 50)))
+        out = F.dropout(x, 0.5, training=True, rng=np.random.default_rng(0)).data
+        fraction_zero = (out == 0).mean()
+        assert 0.4 < fraction_zero < 0.6
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+
+
+class TestNumericalGradientHelper:
+    def test_numerical_gradient_of_square(self):
+        x = Tensor(np.array([2.0, -3.0]))
+        grad = numerical_gradient(lambda t: (t * t).sum(), [x])
+        assert np.allclose(grad, [4.0, -6.0], atol=1e-4)

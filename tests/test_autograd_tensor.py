@@ -1,0 +1,318 @@
+"""Unit and property-based tests for the autograd Tensor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.autograd import Tensor, no_grad
+from repro.autograd.tensor import unbroadcast
+
+
+def small_arrays(max_side: int = 4):
+    return hnp.arrays(
+        dtype=np.float64,
+        shape=hnp.array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=max_side),
+        elements=st.floats(-5, 5, allow_nan=False, allow_infinity=False),
+    )
+
+
+class TestConstruction:
+    def test_data_is_float64(self):
+        t = Tensor([1, 2, 3])
+        assert t.data.dtype == np.float64
+        assert t.shape == (3,)
+
+    def test_requires_grad_default_false(self):
+        assert not Tensor([1.0]).requires_grad
+
+    def test_detach_cuts_graph(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = (a * 2).detach()
+        assert not b.requires_grad
+        assert np.allclose(b.data, [2.0, 4.0])
+
+    def test_zeros_ones_randn_from_numpy(self):
+        assert np.all(Tensor.zeros((2, 3)).data == 0)
+        assert np.all(Tensor.ones((2, 3)).data == 1)
+        assert Tensor.randn(2, 3, rng=np.random.default_rng(0)).shape == (2, 3)
+        assert Tensor.from_numpy(np.arange(4)).shape == (4,)
+
+    def test_item_and_len(self):
+        assert Tensor([[3.5]]).item() == pytest.approx(3.5)
+        assert len(Tensor(np.zeros((5, 2)))) == 5
+
+
+class TestArithmeticBackward:
+    def test_add_backward(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a + b).sum().backward()
+        assert np.allclose(a.grad, [1, 1])
+        assert np.allclose(b.grad, [1, 1])
+
+    def test_sub_backward(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a - b).sum().backward()
+        assert np.allclose(a.grad, [1, 1])
+        assert np.allclose(b.grad, [-1, -1])
+
+    def test_mul_backward(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a * b).sum().backward()
+        assert np.allclose(a.grad, b.data)
+        assert np.allclose(b.grad, a.data)
+
+    def test_div_backward(self):
+        a = Tensor([4.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=True)
+        (a / b).sum().backward()
+        assert np.allclose(a.grad, [0.5])
+        assert np.allclose(b.grad, [-1.0])
+
+    def test_pow_backward(self):
+        a = Tensor([3.0], requires_grad=True)
+        (a ** 2).sum().backward()
+        assert np.allclose(a.grad, [6.0])
+
+    def test_neg_backward(self):
+        a = Tensor([3.0], requires_grad=True)
+        (-a).sum().backward()
+        assert np.allclose(a.grad, [-1.0])
+
+    def test_reuse_same_tensor_accumulates(self):
+        a = Tensor([2.0], requires_grad=True)
+        (a * a).sum().backward()
+        assert np.allclose(a.grad, [4.0])
+
+    def test_scalar_broadcast_backward(self):
+        a = Tensor(np.ones((3, 2)), requires_grad=True)
+        (a * 3.0).sum().backward()
+        assert np.allclose(a.grad, np.full((3, 2), 3.0))
+
+    def test_bias_broadcast_backward(self):
+        x = Tensor(np.ones((4, 3)), requires_grad=True)
+        b = Tensor(np.zeros(3), requires_grad=True)
+        (x + b).sum().backward()
+        assert np.allclose(b.grad, [4, 4, 4])
+
+    def test_matmul_backward_matches_manual(self):
+        a = Tensor(np.array([[1.0, 2.0], [3.0, 4.0]]), requires_grad=True)
+        b = Tensor(np.array([[5.0, 6.0], [7.0, 8.0]]), requires_grad=True)
+        (a @ b).sum().backward()
+        ones = np.ones((2, 2))
+        assert np.allclose(a.grad, ones @ b.data.T)
+        assert np.allclose(b.grad, a.data.T @ ones)
+
+    def test_batched_matmul_shapes(self):
+        a = Tensor(np.random.default_rng(0).standard_normal((2, 3, 4)), requires_grad=True)
+        b = Tensor(np.random.default_rng(1).standard_normal((2, 4, 5)), requires_grad=True)
+        out = a @ b
+        assert out.shape == (2, 3, 5)
+        out.sum().backward()
+        assert a.grad.shape == a.shape
+        assert b.grad.shape == b.shape
+
+    def test_rsub_rdiv_radd(self):
+        a = Tensor([2.0], requires_grad=True)
+        assert np.allclose((5.0 - a).data, [3.0])
+        assert np.allclose((8.0 / a).data, [4.0])
+        assert np.allclose((1.0 + a).data, [3.0])
+
+    def test_backward_requires_scalar_without_seed(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (a * 2).backward()
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+
+class TestUnaryAndReductions:
+    def test_exp_log_roundtrip_gradient(self):
+        a = Tensor([0.5, 1.5], requires_grad=True)
+        a.exp().log().sum().backward()
+        assert np.allclose(a.grad, [1.0, 1.0])
+
+    def test_relu_masks_gradient(self):
+        a = Tensor([-1.0, 2.0], requires_grad=True)
+        a.relu().sum().backward()
+        assert np.allclose(a.grad, [0.0, 1.0])
+
+    def test_sigmoid_tanh_values(self):
+        assert Tensor([0.0]).sigmoid().data == pytest.approx(0.5)
+        assert Tensor([0.0]).tanh().data == pytest.approx(0.0)
+
+    def test_clip_gradient(self):
+        a = Tensor([-2.0, 0.5, 2.0], requires_grad=True)
+        a.clip(-1.0, 1.0).sum().backward()
+        assert np.allclose(a.grad, [0.0, 1.0, 0.0])
+
+    def test_abs_gradient(self):
+        a = Tensor([-2.0, 3.0], requires_grad=True)
+        a.abs().sum().backward()
+        assert np.allclose(a.grad, [-1.0, 1.0])
+
+    def test_sum_axis_keepdims(self):
+        a = Tensor(np.arange(6, dtype=float).reshape(2, 3), requires_grad=True)
+        out = a.sum(axis=1, keepdims=True)
+        assert out.shape == (2, 1)
+        out.sum().backward()
+        assert np.allclose(a.grad, np.ones((2, 3)))
+
+    def test_mean_value_and_grad(self):
+        a = Tensor(np.array([[2.0, 4.0]]), requires_grad=True)
+        m = a.mean()
+        assert m.data == pytest.approx(3.0)
+        m.backward()
+        assert np.allclose(a.grad, [[0.5, 0.5]])
+
+    def test_var_matches_numpy(self):
+        data = np.random.default_rng(3).standard_normal((4, 5))
+        assert np.allclose(Tensor(data).var(axis=1).data, data.var(axis=1))
+
+    def test_max_min(self):
+        a = Tensor(np.array([[1.0, 5.0], [3.0, 2.0]]), requires_grad=True)
+        assert np.allclose(a.max(axis=1).data, [5.0, 3.0])
+        assert np.allclose(a.min(axis=1).data, [1.0, 2.0])
+        a.max().backward()
+        assert a.grad[0, 1] == pytest.approx(1.0)
+        assert a.grad.sum() == pytest.approx(1.0)
+
+    def test_mean_axis_tuple(self):
+        data = np.random.default_rng(0).standard_normal((2, 3, 4))
+        assert np.allclose(Tensor(data).mean(axis=(1, 2)).data, data.mean(axis=(1, 2)))
+
+
+class TestShapes:
+    def test_reshape_and_grad(self):
+        a = Tensor(np.arange(6, dtype=float), requires_grad=True)
+        a.reshape(2, 3).sum().backward()
+        assert a.grad.shape == (6,)
+
+    def test_transpose_roundtrip(self):
+        data = np.random.default_rng(0).standard_normal((2, 3, 4))
+        t = Tensor(data, requires_grad=True)
+        out = t.transpose(0, 2, 1).transpose(0, 2, 1)
+        assert np.allclose(out.data, data)
+        out.sum().backward()
+        assert np.allclose(t.grad, np.ones_like(data))
+
+    def test_T_property(self):
+        data = np.arange(6, dtype=float).reshape(2, 3)
+        assert Tensor(data).T.shape == (3, 2)
+
+    def test_getitem_int_array_backward(self):
+        a = Tensor(np.arange(5, dtype=float), requires_grad=True)
+        idx = np.array([0, 0, 3])
+        a[idx].sum().backward()
+        assert np.allclose(a.grad, [2, 0, 0, 1, 0])
+
+    def test_concatenate_backward(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((3, 2)), requires_grad=True)
+        out = Tensor.concatenate([a, b], axis=0)
+        assert out.shape == (5, 2)
+        (out * 2).sum().backward()
+        assert np.allclose(a.grad, np.full((2, 2), 2.0))
+        assert np.allclose(b.grad, np.full((3, 2), 2.0))
+
+    def test_stack_backward(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.zeros(3), requires_grad=True)
+        out = Tensor.stack([a, b], axis=0)
+        assert out.shape == (2, 3)
+        out.sum().backward()
+        assert np.allclose(a.grad, np.ones(3))
+
+    def test_broadcast_to_backward(self):
+        a = Tensor(np.ones((1, 3)), requires_grad=True)
+        a.broadcast_to((4, 3)).sum().backward()
+        assert np.allclose(a.grad, np.full((1, 3), 4.0))
+
+    def test_squeeze_expand_dims(self):
+        a = Tensor(np.ones((1, 3, 1)))
+        assert a.squeeze().shape == (3,)
+        assert a.squeeze(0).shape == (3, 1)
+        assert a.expand_dims(0).shape == (1, 1, 3, 1)
+
+    def test_pad_backward(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        padded = a.pad(((1, 1), (1, 1)))
+        assert padded.shape == (4, 4)
+        padded.sum().backward()
+        assert np.allclose(a.grad, np.ones((2, 2)))
+
+    def test_flatten(self):
+        a = Tensor(np.zeros((2, 3, 4)))
+        assert a.flatten(start_dim=1).shape == (2, 12)
+        assert a.flatten().shape == (24,)
+
+    def test_swapaxes(self):
+        a = Tensor(np.zeros((2, 3, 4)))
+        assert a.swapaxes(0, 2).shape == (4, 3, 2)
+
+
+class TestNoGrad:
+    def test_no_grad_disables_graph(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            out = a * 2
+        assert not out.requires_grad
+
+    def test_no_grad_restores_state(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            pass
+        assert (a * 2).requires_grad
+
+
+class TestUnbroadcast:
+    def test_identity(self):
+        grad = np.ones((2, 3))
+        assert unbroadcast(grad, (2, 3)).shape == (2, 3)
+
+    def test_leading_dims_summed(self):
+        grad = np.ones((4, 2, 3))
+        assert np.allclose(unbroadcast(grad, (2, 3)), np.full((2, 3), 4.0))
+
+    def test_size_one_dims_summed(self):
+        grad = np.ones((4, 3))
+        assert np.allclose(unbroadcast(grad, (1, 3)), np.full((1, 3), 4.0))
+
+    @given(small_arrays())
+    @settings(max_examples=25, deadline=None)
+    def test_unbroadcast_preserves_total_mass(self, array):
+        reduced = unbroadcast(array, (1,) * array.ndim)
+        assert np.allclose(reduced.sum(), array.sum())
+
+
+class TestGradientProperties:
+    @given(small_arrays(), st.floats(-3, 3, allow_nan=False))
+    @settings(max_examples=30, deadline=None)
+    def test_scaling_linearity(self, array, scale):
+        a = Tensor(array, requires_grad=True)
+        (a * scale).sum().backward()
+        assert np.allclose(a.grad, np.full(array.shape, scale))
+
+    @given(small_arrays())
+    @settings(max_examples=30, deadline=None)
+    def test_sum_gradient_is_ones(self, array):
+        a = Tensor(array, requires_grad=True)
+        a.sum().backward()
+        assert np.allclose(a.grad, np.ones_like(array))
+
+    @given(small_arrays())
+    @settings(max_examples=30, deadline=None)
+    def test_addition_gradient_shares_shape(self, array):
+        a = Tensor(array, requires_grad=True)
+        b = Tensor(array.copy(), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == array.shape
+        assert b.grad.shape == array.shape

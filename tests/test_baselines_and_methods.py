@@ -1,0 +1,244 @@
+"""Tests for the baseline methods, the RefFiL method object and the method registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.baselines import (
+    BaselineConfig,
+    FedDualPromptMethod,
+    FedEWCMethod,
+    FedL2PMethod,
+    FedLwFMethod,
+    FinetuneMethod,
+    PromptPool,
+    PromptPoolConfig,
+    available_methods,
+    build_method,
+)
+from repro.baselines.prompt_pool import SinglePrompt
+from repro.core import RefFiLConfig, RefFiLMethod
+from repro.core.dpcl import DPCLConfig
+from repro.datasets.synthetic import generate_domain_split
+from repro.federated.client import ClientHandle, LocalTrainingConfig
+from repro.federated.increment import ClientGroup
+from repro.federated.server import FederatedServer
+
+RNG = np.random.default_rng(31)
+
+
+def _client(tiny_spec, task_id=0, group=ClientGroup.NEW, epochs=1, final_round=True):
+    data = generate_domain_split(tiny_spec, min(task_id, tiny_spec.num_domains - 1), "train")
+    return ClientHandle(
+        client_id=0,
+        task_id=task_id,
+        group=group,
+        dataset=data,
+        rng=np.random.default_rng(0),
+        training=LocalTrainingConfig(local_epochs=epochs, batch_size=8, learning_rate=0.05),
+        metadata={"round_index": 0.0 if not final_round else 0.0, "rounds_per_task": 1.0},
+    )
+
+
+class TestPromptPool:
+    def test_selection_shapes_and_histogram(self):
+        pool = PromptPool(PromptPoolConfig(pool_size=5, prompt_length=2, embed_dim=8, top_k=2))
+        query = Tensor(RNG.standard_normal((3, 8)))
+        tokens, pull, indices = pool.select(query)
+        assert tokens.shape == (3, 4, 8)
+        assert pull.data.size == 1
+        assert indices.shape == (3, 2)
+        assert pool.selection_histogram(indices).sum() == 6
+
+    def test_query_validation(self):
+        pool = PromptPool(PromptPoolConfig(pool_size=3, prompt_length=1, embed_dim=8, top_k=1))
+        with pytest.raises(ValueError):
+            pool.select(Tensor(RNG.standard_normal((3, 4))))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PromptPoolConfig(pool_size=0)
+        with pytest.raises(ValueError):
+            PromptPoolConfig(pool_size=2, top_k=5)
+
+    def test_similar_queries_pick_same_prompt(self):
+        pool = PromptPool(PromptPoolConfig(pool_size=4, prompt_length=1, embed_dim=6, top_k=1))
+        base = RNG.standard_normal(6)
+        queries = Tensor(np.stack([base, base + 0.001]))
+        _, _, indices = pool.select(queries)
+        assert indices[0, 0] == indices[1, 0]
+
+    def test_single_prompt_broadcast(self):
+        single = SinglePrompt(prompt_length=3, embed_dim=8)
+        assert single.tokens(5).shape == (5, 3, 8)
+
+
+class TestBaselineLocalUpdates:
+    @pytest.fixture
+    def backbone_config(self, tiny_backbone_config):
+        return tiny_backbone_config
+
+    def _run_one_update(self, method, tiny_spec):
+        model = method.build_model()
+        server = FederatedServer(model)
+        client = _client(tiny_spec)
+        update = method.local_update(model, server.broadcast(), server.broadcast_payload, client)
+        return model, server, update
+
+    def test_finetune_update_produces_valid_state(self, backbone_config, tiny_spec):
+        method = FinetuneMethod(BaselineConfig(backbone=backbone_config))
+        model, server, update = self._run_one_update(method, tiny_spec)
+        assert update.num_samples == tiny_spec.train_per_domain
+        assert update.train_loss > 0
+        assert set(update.state_dict) == set(server.global_state)
+        method.aggregate(server, [update])
+        assert server.round_counter == 1
+
+    def test_finetune_predict_logits_shape(self, backbone_config, tiny_spec):
+        method = FinetuneMethod(BaselineConfig(backbone=backbone_config))
+        model = method.build_model()
+        logits = method.predict_logits(model, Tensor(RNG.standard_normal((2, 3, 16, 16))))
+        assert logits.shape == (2, backbone_config.num_classes)
+
+    def test_fedlwf_teacher_lifecycle(self, backbone_config, tiny_spec):
+        method = FedLwFMethod(BaselineConfig(backbone=backbone_config), distillation_weight=0.5)
+        model = method.build_model()
+        server = FederatedServer(model)
+        assert not method.has_teacher
+        method.on_task_start(0, server)
+        assert not method.has_teacher  # no teacher for the first task
+        method.on_task_start(1, server)
+        assert method.has_teacher
+        client = _client(tiny_spec, task_id=1)
+        update = method.local_update(model, server.broadcast(), {}, client)
+        assert update.train_loss > 0
+
+    def test_fedlwf_validation(self, backbone_config):
+        with pytest.raises(ValueError):
+            FedLwFMethod(BaselineConfig(backbone=backbone_config), distillation_weight=-1.0)
+
+    def test_fedewc_fisher_and_penalty(self, backbone_config, tiny_spec):
+        method = FedEWCMethod(BaselineConfig(backbone=backbone_config), constraint=10.0, fisher_batches=1)
+        model = method.build_model()
+        server = FederatedServer(model)
+        client = _client(tiny_spec)
+        update = method.local_update(model, server.broadcast(), {}, client)
+        assert "fisher" in update.payload
+        assert all(np.all(v >= 0) for v in update.payload["fisher"].values())
+        method.aggregate(server, [update])
+        assert method.has_penalty
+        # Subsequent local updates should include the (finite) penalty without crashing.
+        second = method.local_update(model, server.broadcast(), {}, _client(tiny_spec, task_id=1))
+        assert np.isfinite(second.train_loss)
+
+    def test_fedl2p_pool_variant_names(self, backbone_config):
+        plain = FedL2PMethod(BaselineConfig(backbone=backbone_config), use_pool=False)
+        pooled = FedL2PMethod(BaselineConfig(backbone=backbone_config), use_pool=True)
+        assert plain.name == "FedL2P" and pooled.name == "FedL2P†"
+        assert plain.build_model().pool is None
+        assert pooled.build_model().pool is not None
+
+    def test_fedl2p_local_update_and_predict(self, backbone_config, tiny_spec):
+        method = FedL2PMethod(BaselineConfig(backbone=backbone_config), use_pool=True)
+        model, server, update = self._run_one_update(method, tiny_spec)
+        assert update.train_loss > 0
+        logits = method.predict_logits(model, Tensor(RNG.standard_normal((2, 3, 16, 16))))
+        assert logits.shape == (2, backbone_config.num_classes)
+
+    def test_feddualprompt_task_and_inference_paths(self, backbone_config, tiny_spec):
+        method = FedDualPromptMethod(
+            BaselineConfig(backbone=backbone_config), num_tasks=3, use_expert_bank=True
+        )
+        model, server, update = self._run_one_update(method, tiny_spec)
+        assert update.train_loss > 0
+        logits = method.predict_logits(model, Tensor(RNG.standard_normal((2, 3, 16, 16))))
+        assert logits.shape == (2, backbone_config.num_classes)
+
+    def test_feddualprompt_without_bank(self, backbone_config, tiny_spec):
+        method = FedDualPromptMethod(
+            BaselineConfig(backbone=backbone_config), num_tasks=3, use_expert_bank=False
+        )
+        model = method.build_model()
+        assert model.expert_prompts is None and model.shared_expert is not None
+        assert method.name == "FedDualPrompt"
+
+
+class TestRefFiLMethod:
+    def test_dpcl_requires_prompt_machinery(self, tiny_backbone_config):
+        with pytest.raises(ValueError):
+            RefFiLMethod(
+                RefFiLConfig(
+                    backbone=tiny_backbone_config, use_cdap=False, use_gpl=False, use_dpcl=True
+                )
+            )
+
+    def test_name_reflects_ablation(self, tiny_backbone_config):
+        full = RefFiLMethod(RefFiLConfig(backbone=tiny_backbone_config))
+        assert full.name == "RefFiL"
+        partial = RefFiLMethod(
+            RefFiLConfig(backbone=tiny_backbone_config, use_cdap=True, use_gpl=False, use_dpcl=False)
+        )
+        assert "CDAP" in partial.name
+
+    def test_local_update_uploads_prompt_groups(self, tiny_backbone_config, tiny_spec):
+        method = RefFiLMethod(RefFiLConfig(backbone=tiny_backbone_config, prompt_length=3, max_tasks=4))
+        model = method.build_model()
+        server = FederatedServer(model)
+        client = _client(tiny_spec)
+        update = method.local_update(model, server.broadcast(), server.broadcast_payload, client)
+        groups = update.payload["prompt_groups"]
+        assert groups
+        assert all(np.asarray(v).shape == (tiny_backbone_config.embed_dim,) for v in groups.values())
+
+    def test_aggregate_populates_store_and_broadcast(self, tiny_backbone_config, tiny_spec):
+        method = RefFiLMethod(RefFiLConfig(backbone=tiny_backbone_config, prompt_length=3, max_tasks=4))
+        model = method.build_model()
+        server = FederatedServer(model)
+        update = method.local_update(model, server.broadcast(), {}, _client(tiny_spec))
+        method.aggregate(server, [update])
+        assert not method.prompt_aggregator.store.is_empty
+        assert server.broadcast_payload
+        # A second local update must be able to consume the broadcast payload.
+        second = method.local_update(model, server.broadcast(), server.broadcast_payload, _client(tiny_spec, task_id=1))
+        assert np.isfinite(second.train_loss)
+
+    def test_predict_logits_shapes(self, tiny_backbone_config):
+        method = RefFiLMethod(RefFiLConfig(backbone=tiny_backbone_config, prompt_length=3, max_tasks=4))
+        model = method.build_model()
+        logits = method.predict_logits(model, Tensor(RNG.standard_normal((2, 3, 16, 16))))
+        assert logits.shape == (2, tiny_backbone_config.num_classes)
+
+    def test_ablated_gpl_only_predicts_without_cdap(self, tiny_backbone_config, tiny_spec):
+        method = RefFiLMethod(
+            RefFiLConfig(backbone=tiny_backbone_config, use_cdap=False, use_gpl=True, use_dpcl=False)
+        )
+        model = method.build_model()
+        server = FederatedServer(model)
+        update = method.local_update(model, server.broadcast(), {}, _client(tiny_spec))
+        method.aggregate(server, [update])
+        logits = method.predict_logits(model, Tensor(RNG.standard_normal((2, 3, 16, 16))))
+        assert logits.shape == (2, tiny_backbone_config.num_classes)
+
+
+class TestRegistry:
+    def test_all_names_buildable(self, tiny_backbone_config):
+        for name in available_methods():
+            method = build_method(name, tiny_backbone_config, num_tasks=3)
+            assert method.build_model() is not None
+
+    def test_unknown_name_raises(self, tiny_backbone_config):
+        with pytest.raises(KeyError):
+            build_method("fedprox", tiny_backbone_config, num_tasks=2)
+
+    def test_dpcl_override_reaches_refil(self, tiny_backbone_config):
+        dpcl = DPCLConfig(tau=0.5, tau_min=0.2, gamma=0.15, beta=0.1)
+        method = build_method("refil", tiny_backbone_config, num_tasks=2, dpcl=dpcl)
+        assert method.config.dpcl.tau == pytest.approx(0.5)
+
+    def test_registry_covers_paper_rows(self):
+        names = available_methods()
+        for required in ("finetune", "fedlwf", "fedewc", "fedl2p", "fedl2p_pool",
+                         "feddualprompt", "feddualprompt_pool", "refil"):
+            assert required in names

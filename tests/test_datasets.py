@@ -1,0 +1,238 @@
+"""Tests for the synthetic domain-shift datasets, loaders and registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    ArrayDataset,
+    DataLoader,
+    DomainDatasetSpec,
+    SyntheticDomainDataset,
+    available_datasets,
+    build_dataset,
+    generate_domain_split,
+    get_alternate_domain_order,
+    get_dataset_spec,
+    train_test_split,
+)
+from repro.datasets.synthetic import class_pattern, domain_style
+from repro.datasets.transforms import DomainStyle, dihedral_transform, render_pattern, shift_pattern
+
+
+class TestArrayDataset:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((3, 16, 16)), np.zeros(3))
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((3, 3, 4, 4)), np.zeros(2))
+
+    def test_subset_and_counts(self):
+        data = ArrayDataset(np.zeros((6, 3, 4, 4)), np.array([0, 1, 2, 0, 1, 2]))
+        sub = data.subset(np.array([0, 3]))
+        assert len(sub) == 2
+        assert np.all(sub.labels == 0)
+        assert np.all(data.class_counts() == [2, 2, 2])
+
+    def test_concatenate(self):
+        a = ArrayDataset(np.zeros((2, 3, 4, 4)), np.array([0, 1]))
+        b = ArrayDataset(np.ones((3, 3, 4, 4)), np.array([1, 0, 1]))
+        merged = ArrayDataset.concatenate((a, b))
+        assert len(merged) == 5
+        with pytest.raises(ValueError):
+            ArrayDataset.concatenate(())
+
+
+class TestSpec:
+    def test_registered_specs_match_paper_structure(self):
+        assert set(available_datasets()) == {"digits_five", "office_caltech", "pacs", "fed_domainnet"}
+        assert get_dataset_spec("digits_five").num_domains == 5
+        assert get_dataset_spec("digits_five").num_classes == 10
+        assert get_dataset_spec("office_caltech").num_domains == 4
+        assert get_dataset_spec("pacs").num_classes == 7
+        assert get_dataset_spec("fed_domainnet").num_domains == 6
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            get_dataset_spec("imagenet")
+
+    def test_alternate_order_is_permutation(self):
+        for name in available_datasets():
+            spec = get_dataset_spec(name)
+            alternate = get_alternate_domain_order(name)
+            assert sorted(alternate) == sorted(spec.domains)
+            assert alternate != spec.domains
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            DomainDatasetSpec(name="x", num_classes=1, domains=("a", "b"))
+        with pytest.raises(ValueError):
+            DomainDatasetSpec(name="x", num_classes=3, domains=("a",))
+        with pytest.raises(ValueError):
+            DomainDatasetSpec(name="x", num_classes=3, domains=("a", "b"), train_per_domain=2)
+
+    def test_scaled_copy(self, tiny_spec):
+        assert tiny_spec.num_classes == 3
+        assert tiny_spec.train_per_domain == 24
+        assert tiny_spec.domains == get_dataset_spec("office_caltech").domains
+
+    def test_domain_index(self, tiny_spec):
+        assert tiny_spec.domain_index("amazon") == 0
+        with pytest.raises(KeyError):
+            tiny_spec.domain_index("sketch")
+
+
+class TestGeneration:
+    def test_split_shapes_and_labels(self, tiny_spec):
+        train = generate_domain_split(tiny_spec, 0, "train")
+        assert train.images.shape == (24, 3, 16, 16)
+        assert set(np.unique(train.labels)) == {0, 1, 2}
+        assert train.images.min() >= 0.0 and train.images.max() <= 1.0
+
+    def test_generation_is_deterministic(self, tiny_spec):
+        a = generate_domain_split(tiny_spec, 1, "train")
+        b = generate_domain_split(tiny_spec, 1, "train")
+        assert np.allclose(a.images, b.images)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_train_and_test_differ(self, tiny_spec):
+        train = generate_domain_split(tiny_spec, 0, "train")
+        test = generate_domain_split(tiny_spec, 0, "test")
+        assert train.images.shape[0] != test.images.shape[0] or not np.allclose(
+            train.images[: len(test)], test.images
+        )
+
+    def test_domains_differ_visually(self, tiny_spec):
+        d0 = generate_domain_split(tiny_spec, 0, "train").images
+        d1 = generate_domain_split(tiny_spec, 1, "train").images
+        assert np.abs(d0.mean(axis=0) - d1.mean(axis=0)).mean() > 0.02
+
+    def test_invalid_split_name(self, tiny_spec):
+        with pytest.raises(ValueError):
+            generate_domain_split(tiny_spec, 0, "validation")
+
+    def test_class_patterns_are_distinct(self, tiny_spec):
+        patterns = [class_pattern(tiny_spec, k) for k in range(tiny_spec.num_classes)]
+        for i in range(len(patterns)):
+            for j in range(i + 1, len(patterns)):
+                assert np.abs(patterns[i] - patterns[j]).mean() > 0.05
+
+    def test_domain_style_out_of_range(self, tiny_spec):
+        with pytest.raises(IndexError):
+            domain_style(tiny_spec, 99)
+
+    def test_within_domain_linear_separability(self, tiny_spec):
+        """The class signal must be recoverable within a domain (sanity of the generator)."""
+        spec = tiny_spec.scaled(train_per_domain=60, test_per_domain=30)
+        train = generate_domain_split(spec, 0, "train")
+        test = generate_domain_split(spec, 0, "test")
+        x = train.images.reshape(len(train), -1)
+        xt = test.images.reshape(len(test), -1)
+        x = np.hstack([x, np.ones((len(x), 1))])
+        xt = np.hstack([xt, np.ones((len(xt), 1))])
+        onehot = np.eye(spec.num_classes)[train.labels]
+        weights = np.linalg.solve(x.T @ x + 0.1 * np.eye(x.shape[1]), x.T @ onehot)
+        accuracy = ((xt @ weights).argmax(axis=1) == test.labels).mean()
+        assert accuracy > 0.7
+
+
+class TestSyntheticDomainDataset:
+    def test_caches_splits(self, tiny_spec):
+        dataset = SyntheticDomainDataset(tiny_spec)
+        assert dataset.train(0) is dataset.train(0)
+
+    def test_reordered_view(self, tiny_spec):
+        dataset = SyntheticDomainDataset(tiny_spec)
+        view = dataset.reordered([1, 0, 2, 3])
+        assert view.domains[0] == dataset.domains[1]
+        assert np.allclose(view.train(0).images, dataset.train(1).images)
+        with pytest.raises(ValueError):
+            dataset.reordered([0, 0, 1, 2])
+
+    def test_build_dataset_registry(self):
+        dataset = build_dataset("pacs")
+        assert dataset.num_classes == 7
+
+
+class TestTransforms:
+    def test_dihedral_transforms_are_distinct_and_volume_preserving(self):
+        pattern = np.random.default_rng(0).random((8, 8))
+        transformed = [dihedral_transform(pattern, k) for k in range(8)]
+        for image in transformed:
+            assert image.shape == pattern.shape
+            assert np.allclose(image.sum(), pattern.sum())
+        assert not np.allclose(transformed[0], transformed[1])
+
+    def test_shift_pattern_moves_mass(self):
+        pattern = np.zeros((5, 5))
+        pattern[2, 2] = 1.0
+        shifted = shift_pattern(pattern, 1, -1)
+        assert shifted[3, 1] == 1.0
+        assert shifted[2, 2] == 0.0
+
+    def test_render_produces_valid_rgb(self, tiny_spec):
+        style = domain_style(tiny_spec, 0)
+        image = render_pattern(class_pattern(tiny_spec, 0), style, np.random.default_rng(0))
+        assert image.shape == (3, 16, 16)
+        assert image.min() >= 0.0 and image.max() <= 1.0
+
+    def test_style_validation(self):
+        with pytest.raises(ValueError):
+            DomainStyle(name="bad", color_matrix=np.zeros((2, 2)), background=np.zeros(3))
+        with pytest.raises(ValueError):
+            DomainStyle(name="bad", color_matrix=np.zeros((3, 3)), background=np.zeros(3), orientation=9)
+
+
+class TestDataLoader:
+    def test_batches_cover_dataset(self, tiny_spec):
+        data = generate_domain_split(tiny_spec, 0, "train")
+        loader = DataLoader(data, batch_size=7, shuffle=False)
+        total = sum(len(labels) for _, labels in loader)
+        assert total == len(data)
+        assert len(loader) == (len(data) + 6) // 7
+
+    def test_normalization_to_unit_range(self, tiny_spec):
+        data = generate_domain_split(tiny_spec, 0, "train")
+        images, _ = next(iter(DataLoader(data, batch_size=8, shuffle=False)))
+        assert images.data.min() >= -1.0 and images.data.max() <= 1.0
+        raw, _ = next(iter(DataLoader(data, batch_size=8, shuffle=False, normalize=False)))
+        assert raw.data.min() >= 0.0
+
+    def test_shuffle_determinism_with_seed(self, tiny_spec):
+        data = generate_domain_split(tiny_spec, 0, "train")
+        first = [labels for _, labels in DataLoader(data, batch_size=8, rng=np.random.default_rng(3))]
+        second = [labels for _, labels in DataLoader(data, batch_size=8, rng=np.random.default_rng(3))]
+        assert all(np.array_equal(a, b) for a, b in zip(first, second))
+
+    def test_drop_last(self, tiny_spec):
+        data = generate_domain_split(tiny_spec, 0, "train")
+        loader = DataLoader(data, batch_size=7, drop_last=True)
+        assert all(len(labels) == 7 for _, labels in loader)
+
+    def test_invalid_batch_size(self, tiny_spec):
+        with pytest.raises(ValueError):
+            DataLoader(generate_domain_split(tiny_spec, 0, "train"), batch_size=0)
+
+
+class TestTrainTestSplit:
+    def test_stratified_split_keeps_all_classes(self, tiny_spec):
+        data = generate_domain_split(tiny_spec, 0, "train")
+        train, test = train_test_split(data, test_fraction=0.25, rng=np.random.default_rng(0))
+        assert len(train) + len(test) == len(data)
+        assert set(np.unique(test.labels)) == set(np.unique(data.labels))
+
+    def test_invalid_fraction(self, tiny_spec):
+        data = generate_domain_split(tiny_spec, 0, "train")
+        with pytest.raises(ValueError):
+            train_test_split(data, test_fraction=1.5)
+
+    @given(st.floats(0.1, 0.5))
+    @settings(max_examples=10, deadline=None)
+    def test_split_sizes_scale_with_fraction(self, fraction):
+        labels = np.tile(np.arange(4), 20)
+        data = ArrayDataset(np.zeros((80, 3, 4, 4)), labels)
+        _, test = train_test_split(data, test_fraction=fraction, rng=np.random.default_rng(0))
+        assert abs(len(test) - round(80 * fraction)) <= 4
