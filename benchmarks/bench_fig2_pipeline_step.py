@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.autograd.tensor import default_dtype
 from repro.core import RefFiLConfig, RefFiLMethod
 from repro.datasets.registry import get_dataset_spec
 from repro.datasets.synthetic import generate_domain_split
@@ -17,6 +18,7 @@ from repro.federated.client import ClientHandle, LocalTrainingConfig
 from repro.federated.increment import ClientGroup
 from repro.federated.server import FederatedServer
 from repro.models.backbone import BackboneConfig
+from repro.utils.timing import Timer
 
 
 def _build_step():
@@ -53,3 +55,50 @@ def test_fig2_pipeline_local_update(benchmark):
     print(f"  upload size           : {update.upload_bytes() / 1024:.1f} KiB")
     assert update.num_samples == client.num_samples
     assert update.payload["prompt_groups"]
+
+
+def test_fig2_pipeline_float32_vs_float64(benchmark, bench_record):
+    """The same local update at both compute precisions (the ``dtype`` knob).
+
+    float32 halves the memory bandwidth of every conv / matmul in the
+    pipeline, which is the dominant cost on CPU; the measured speedup and the
+    loss agreement between precisions are recorded in ``BENCH_round.json``.
+    """
+    timer = Timer()
+    reps = 3
+    losses = {}
+
+    def run_at(dtype_name):
+        with default_dtype(dtype_name):
+            method, model, server, client = _build_step()
+            # Warm-up outside the timed region (first call touches cold caches).
+            method.local_update(model, server.broadcast(), server.broadcast_payload, client)
+            for _ in range(reps):
+                with timer.measure(dtype_name):
+                    update = method.local_update(
+                        model, server.broadcast(), server.broadcast_payload, client
+                    )
+            losses[dtype_name] = update.train_loss
+
+    benchmark.pedantic(lambda: (run_at("float64"), run_at("float32")),
+                       rounds=1, iterations=1, warmup_rounds=0)
+
+    t64 = timer.mean("float64")
+    t32 = timer.mean("float32")
+    speedup = t64 / t32 if t32 > 0 else float("inf")
+    bench_record(
+        "fig2_precision",
+        {
+            "float64_step_s": t64,
+            "float32_step_s": t32,
+            "speedup": speedup,
+            "float64_loss": losses["float64"],
+            "float32_loss": losses["float32"],
+        },
+    )
+    print(f"\nFig.2 pipeline precision (mean of {reps} local updates):")
+    print(f"  float64 : {t64 * 1000:.1f} ms  (loss {losses['float64']:.4f})")
+    print(f"  float32 : {t32 * 1000:.1f} ms  (loss {losses['float32']:.4f})")
+    print(f"  speedup : {speedup:.2f}x")
+    # Precisions must agree on the training trajectory to well within SGD noise.
+    assert abs(losses["float64"] - losses["float32"]) < 1e-2

@@ -7,18 +7,73 @@ views of the same runs (Table I vs Table III) only pay for them once per
 session.  Benches execute their workload exactly once (``rounds=1``): the
 quantity being "benchmarked" is the wall-clock cost of regenerating the
 table, and the printed output is the table itself.
+
+Perf-tracking benches (``bench_round_parallel``, the fig-2 precision bench)
+additionally push their measurements into the session-scoped ``bench_record``
+fixture; at session end everything collected is written to
+``BENCH_round.json`` at the repository root, so the performance trajectory is
+machine-readable across PRs.
 """
 
 from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict
 
 import pytest
 
 from repro.experiments import get_scale
 
+_BENCH_RESULTS: Dict[str, dict] = {}
+_BENCH_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_round.json"
+
 
 @pytest.fixture(scope="session")
 def scale():
     return get_scale()
+
+
+@pytest.fixture(scope="session")
+def bench_record():
+    """Collector for machine-readable perf results, flushed to BENCH_round.json."""
+
+    def record(section: str, data: dict) -> None:
+        _BENCH_RESULTS.setdefault(section, {}).update(data)
+
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _BENCH_RESULTS or exitstatus != 0:
+        return
+    # Merge into any existing file so partial bench invocations refresh their
+    # own sections without discarding measurements from other benches.  The
+    # environment (scale, cpu count, time) is stamped per section, since the
+    # preserved sections may come from runs under different conditions.
+    results: Dict[str, dict] = {}
+    if _BENCH_JSON_PATH.exists():
+        try:
+            results = json.loads(_BENCH_JSON_PATH.read_text()).get("results", {})
+        except (json.JSONDecodeError, OSError):
+            results = {}
+    try:
+        scale_name = get_scale().value
+    except ValueError:
+        scale_name = os.environ.get("REPRO_SCALE", "tiny")
+    environment = {
+        "scale": scale_name,
+        "cpu_count": os.cpu_count(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+    for section, data in _BENCH_RESULTS.items():
+        results.setdefault(section, {}).update(data)
+        results[section]["environment"] = environment
+    _BENCH_JSON_PATH.write_text(
+        json.dumps({"results": results}, indent=2, sort_keys=True) + "\n"
+    )
 
 
 def run_once(benchmark, fn):

@@ -16,7 +16,22 @@ Public entry points:
   gradient checking used by the test-suite.
 """
 
-from repro.autograd.tensor import Tensor, no_grad, is_grad_enabled
+from repro.autograd.tensor import (
+    Tensor,
+    no_grad,
+    is_grad_enabled,
+    get_default_dtype,
+    set_default_dtype,
+    default_dtype,
+)
 from repro.autograd import functional
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled", "functional"]
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "get_default_dtype",
+    "set_default_dtype",
+    "default_dtype",
+    "functional",
+]

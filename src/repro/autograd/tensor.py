@@ -22,7 +22,44 @@ ArrayLike = Union[Number, Sequence, np.ndarray, "Tensor"]
 
 _GRAD_ENABLED = True
 
-DEFAULT_DTYPE = np.float64
+#: The active compute dtype: process-global state read through
+#: :func:`get_default_dtype` and switched with :func:`set_default_dtype` /
+#: the :func:`default_dtype` context manager.  Gradient checking should run
+#: under ``default_dtype(np.float64)``.
+_DEFAULT_DTYPE = np.dtype(np.float64)
+
+
+def get_default_dtype() -> np.dtype:
+    """Return the dtype newly created tensors (and parameters) use."""
+    return _DEFAULT_DTYPE
+
+
+def set_default_dtype(dtype) -> np.dtype:
+    """Set the process-wide compute dtype (``float32`` or ``float64``).
+
+    Everything downstream of tensor creation — weight initialisation, dataset
+    batches, optimiser state — picks the dtype up from here, so switching to
+    float32 halves the memory bandwidth of the whole pipeline.  Gradient
+    checking should stay at float64 (wrap it in ``default_dtype(np.float64)``).
+    Returns the previous dtype so callers can restore it.
+    """
+    global _DEFAULT_DTYPE
+    resolved = np.dtype(dtype)
+    if resolved.kind != "f":
+        raise ValueError(f"default dtype must be a float dtype, got {resolved}")
+    previous = _DEFAULT_DTYPE
+    _DEFAULT_DTYPE = resolved
+    return previous
+
+
+@contextlib.contextmanager
+def default_dtype(dtype):
+    """Context manager that temporarily switches the compute dtype."""
+    previous = set_default_dtype(dtype)
+    try:
+        yield
+    finally:
+        set_default_dtype(previous)
 
 
 def is_grad_enabled() -> bool:
@@ -42,10 +79,10 @@ def no_grad():
         _GRAD_ENABLED = previous
 
 
-def _as_array(value: ArrayLike, dtype=DEFAULT_DTYPE) -> np.ndarray:
+def _as_array(value: ArrayLike, dtype=None) -> np.ndarray:
     if isinstance(value, Tensor):
         return value.data
-    array = np.asarray(value, dtype=dtype)
+    array = np.asarray(value, dtype=dtype if dtype is not None else _DEFAULT_DTYPE)
     return array
 
 
@@ -604,11 +641,11 @@ class Tensor:
 
     @staticmethod
     def zeros(shape, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.zeros(shape, dtype=DEFAULT_DTYPE), requires_grad=requires_grad)
+        return Tensor(np.zeros(shape, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)
 
     @staticmethod
     def ones(shape, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.ones(shape, dtype=DEFAULT_DTYPE), requires_grad=requires_grad)
+        return Tensor(np.ones(shape, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)
 
     @staticmethod
     def randn(*shape, rng: Optional[np.random.Generator] = None, requires_grad: bool = False) -> "Tensor":
@@ -617,7 +654,15 @@ class Tensor:
 
     @staticmethod
     def from_numpy(array: np.ndarray, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.asarray(array, dtype=DEFAULT_DTYPE), requires_grad=requires_grad)
+        return Tensor(np.asarray(array, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)
 
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled", "unbroadcast", "DEFAULT_DTYPE"]
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "unbroadcast",
+    "get_default_dtype",
+    "set_default_dtype",
+    "default_dtype",
+]

@@ -6,7 +6,7 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
-from repro.autograd.tensor import Tensor, no_grad
+from repro.autograd.tensor import Tensor, get_default_dtype, no_grad
 from repro.continual.metrics import AccuracyMatrix
 from repro.continual.scenario import DomainIncrementalScenario, Task
 from repro.datasets.base import ArrayDataset, DataLoader
@@ -52,6 +52,23 @@ class GlobalEvaluator:
         self.predict_fn = predict_fn
         self.accuracy_matrix = AccuracyMatrix(scenario.num_tasks)
         self.per_task_history: List[Dict[str, float]] = []
+        self._converted_tests: Dict[str, ArrayDataset] = {}
+
+    def _test_set(self, seen: Task) -> ArrayDataset:
+        """The task's test set in the active compute dtype, converted at most once.
+
+        Scenarios are built before (and shared across) simulations, so their
+        arrays may not match the run's ``dtype`` knob; converting per task
+        here keeps the evaluation path at the compute precision instead of
+        re-casting every batch.
+        """
+        dtype = get_default_dtype()
+        if seen.test.images.dtype == dtype:
+            return seen.test
+        key = f"{seen.task_id}/{dtype.name}"
+        if key not in self._converted_tests:
+            self._converted_tests[key] = seen.test.astype(dtype)
+        return self._converted_tests[key]
 
     def evaluate_after_task(self, model: Module, task_id: int) -> Dict[str, float]:
         """Evaluate on every seen task's test set and record the results.
@@ -61,7 +78,7 @@ class GlobalEvaluator:
         results: Dict[str, float] = {}
         for seen in self.scenario.seen_tests(task_id):
             accuracy = evaluate_accuracy(
-                model, seen.test, batch_size=self.batch_size, predict_fn=self.predict_fn
+                model, self._test_set(seen), batch_size=self.batch_size, predict_fn=self.predict_fn
             )
             self.accuracy_matrix.record(task_id, seen.task_id, accuracy)
             results[seen.domain_name] = accuracy

@@ -18,7 +18,7 @@ the client's Local Prompt Group which is uploaded alongside the model update.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -37,12 +37,36 @@ from repro.utils.rng import spawn_rng
 
 @dataclass
 class RefFiLLossBreakdown:
-    """Per-batch loss components, kept for logging and the ablation study."""
+    """Per-batch loss components (Eq. 14), kept for logging and the Table VII ablation."""
 
     cross_entropy: float = 0.0
     gpl: float = 0.0
     dpcl: float = 0.0
     total: float = 0.0
+
+    def accumulate(self, other: "RefFiLLossBreakdown") -> None:
+        self.cross_entropy += other.cross_entropy
+        self.gpl += other.gpl
+        self.dpcl += other.dpcl
+        self.total += other.total
+
+    def mean_over(self, batches: int) -> "RefFiLLossBreakdown":
+        count = max(batches, 1)
+        return RefFiLLossBreakdown(
+            cross_entropy=self.cross_entropy / count,
+            gpl=self.gpl / count,
+            dpcl=self.dpcl / count,
+            total=self.total / count,
+        )
+
+    def as_metrics(self) -> Dict[str, float]:
+        """Flat dict for :attr:`repro.federated.communication.ClientUpdate.metrics`."""
+        return {
+            "loss_ce": self.cross_entropy,
+            "loss_gpl": self.gpl,
+            "loss_dpcl": self.dpcl,
+            "loss_total": self.total,
+        }
 
 
 class RefFiLClientTrainer:
@@ -77,6 +101,15 @@ class RefFiLClientTrainer:
             )
         return self._static_prompts[client_id]
 
+    def export_static_prompt(self, client_id: int) -> Optional[np.ndarray]:
+        """The client's trained static prompt, if one exists (cross-process export)."""
+        prompt = self._static_prompts.get(client_id)
+        return None if prompt is None else prompt.data.copy()
+
+    def load_static_prompt(self, client_id: int, data: np.ndarray) -> None:
+        """Install a static prompt exported by a worker process."""
+        self._static_prompts[client_id] = Parameter(data)
+
     # ------------------------------------------------------------------ #
     # Main entry point
     # ------------------------------------------------------------------ #
@@ -106,14 +139,14 @@ class RefFiLClientTrainer:
         )
 
         model.train()
-        total_loss = 0.0
+        totals = RefFiLLossBreakdown()
         batches = 0
         epochs = client.training.local_epochs
         for epoch in range(epochs):
             final_epoch = epoch == epochs - 1
             for images, labels in client.loader():
                 optimizer.zero_grad()
-                breakdown = self._batch_loss(
+                loss, breakdown = self._batch_loss(
                     model,
                     images,
                     labels,
@@ -124,10 +157,9 @@ class RefFiLClientTrainer:
                     static_prompt,
                     collector if final_epoch else None,
                 )
-                breakdown_total = breakdown["loss"]
-                breakdown_total.backward()
+                loss.backward()
                 optimizer.step()
-                total_loss += float(breakdown_total.data)
+                totals.accumulate(breakdown)
                 batches += 1
 
         payload = {
@@ -135,12 +167,14 @@ class RefFiLClientTrainer:
                 str(label): vector for label, vector in collector.local_prompt_group().items()
             }
         }
+        means = totals.mean_over(batches)
         return ClientUpdate(
             client_id=client.client_id,
             state_dict=model.state_dict(),
             num_samples=client.num_samples,
             payload=payload,
-            train_loss=total_loss / max(batches, 1),
+            train_loss=means.total,
+            metrics=means.as_metrics(),
         )
 
     # ------------------------------------------------------------------ #
@@ -157,7 +191,7 @@ class RefFiLClientTrainer:
         temperature: float,
         static_prompt: Optional[Parameter],
         collector: Optional[LocalPromptCollector],
-    ) -> Dict[str, Tensor]:
+    ) -> Tuple[Tensor, RefFiLLossBreakdown]:
         backbone = model.backbone
         patch_tokens = backbone.patch_tokens(images)
         batch = patch_tokens.shape[0]
@@ -175,22 +209,26 @@ class RefFiLClientTrainer:
         # L_CE: prediction conditioned on the local prompts (Eq. 13).
         local_logits = backbone.forward_from_patches(patch_tokens, local_prompts)
         loss = F.cross_entropy(local_logits, labels)
+        breakdown = RefFiLLossBreakdown(cross_entropy=float(loss.data))
 
         # L_GPL: prediction conditioned on the averaged global prompts (Eq. 12).
         if self.use_gpl:
             gpl = gpl_loss(backbone, patch_tokens, labels, averaged_globals)
             if gpl is not None:
+                breakdown.gpl = float(gpl.data)
                 loss = loss + gpl
 
         # L_DPCL: contrastive alignment of local prompts with global prompts (Eq. 9).
         if self.use_dpcl:
             dpcl = dpcl_loss(local_prompts, labels, store, client.group, temperature)
             if dpcl is not None:
+                breakdown.dpcl = self.dpcl_config.weight * float(dpcl.data)
                 loss = loss + self.dpcl_config.weight * dpcl
 
         if collector is not None:
             collector.add_batch(local_prompts.detach(), labels)
-        return {"loss": loss}
+        breakdown.total = float(loss.data)
+        return loss, breakdown
 
 
 __all__ = ["RefFiLClientTrainer", "RefFiLLossBreakdown"]

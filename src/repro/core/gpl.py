@@ -33,7 +33,7 @@ def gpl_loss(
     """
     if averaged_global_prompts is None or averaged_global_prompts.shape[0] == 0:
         return None
-    prompts = Tensor(np.asarray(averaged_global_prompts, dtype=np.float64))
+    prompts = Tensor(averaged_global_prompts)
     logits = backbone.forward_from_patches(patch_tokens, prompts)
     return F.cross_entropy(logits, labels)
 

@@ -111,6 +111,20 @@ class RefFiLMethod(FederatedMethod):
     def aggregate(self, server: FederatedServer, updates: List[ClientUpdate]) -> None:
         aggregate_with_prompts(server, self.prompt_aggregator, updates)
 
+    def export_client_state(self, client_id: int) -> Optional[np.ndarray]:
+        """Cross-process round-trip of the static ablation prompt (if CDAP is off).
+
+        With CDAP enabled RefFiL keeps no per-client state, so the parallel
+        executor ships nothing back; the static-prompt ablation trains one
+        persistent prompt per client, which must survive the worker process.
+        """
+        if self.config.use_cdap:
+            return None
+        return self.client_trainer.export_static_prompt(client_id)
+
+    def import_client_state(self, client_id: int, state: np.ndarray) -> None:
+        self.client_trainer.load_static_prompt(client_id, state)
+
     def predict_logits(self, model: RefFiLModel, images: Tensor) -> Tensor:
         """Inference: condition on CDAP prompts generated without the task ID.
 

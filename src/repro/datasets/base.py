@@ -6,7 +6,7 @@ from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
-from repro.autograd.tensor import Tensor
+from repro.autograd.tensor import Tensor, get_default_dtype
 
 
 class ArrayDataset:
@@ -16,8 +16,8 @@ class ArrayDataset:
     and labels as an int array of shape ``(N,)``.
     """
 
-    def __init__(self, images: np.ndarray, labels: np.ndarray) -> None:
-        images = np.asarray(images, dtype=np.float64)
+    def __init__(self, images: np.ndarray, labels: np.ndarray, dtype=None) -> None:
+        images = np.asarray(images, dtype=dtype if dtype is not None else get_default_dtype())
         labels = np.asarray(labels, dtype=np.int64)
         if images.ndim != 4:
             raise ValueError(f"images must have shape (N, C, H, W), got {images.shape}")
@@ -39,9 +39,16 @@ class ArrayDataset:
         return int(self.labels.max()) + 1 if len(self) else 0
 
     def subset(self, indices: np.ndarray) -> "ArrayDataset":
-        """Return a new dataset containing only ``indices``."""
+        """Return a new dataset containing only ``indices`` (dtype preserved)."""
         indices = np.asarray(indices, dtype=np.int64)
-        return ArrayDataset(self.images[indices], self.labels[indices])
+        return ArrayDataset(self.images[indices], self.labels[indices], dtype=self.images.dtype)
+
+    def astype(self, dtype) -> "ArrayDataset":
+        """Return this dataset with images cast to ``dtype`` (``self`` if already there)."""
+        dtype = np.dtype(dtype)
+        if self.images.dtype == dtype:
+            return self
+        return ArrayDataset(self.images, self.labels, dtype=dtype)
 
     def class_counts(self, num_classes: Optional[int] = None) -> np.ndarray:
         """Histogram of labels (length ``num_classes``)."""
@@ -56,7 +63,7 @@ class ArrayDataset:
             raise ValueError("cannot concatenate zero non-empty datasets")
         images = np.concatenate([d.images for d in datasets], axis=0)
         labels = np.concatenate([d.labels for d in datasets], axis=0)
-        return ArrayDataset(images, labels)
+        return ArrayDataset(images, labels, dtype=images.dtype)
 
 
 class DataLoader:

@@ -134,11 +134,17 @@ def scaled_config(
     initial_clients: Optional[int] = None,
     increment_per_task: Optional[int] = None,
     num_tasks: Optional[int] = None,
+    executor: str = "serial",
+    num_workers: int = 0,
+    dtype: str = "float64",
 ) -> ScaledExperimentConfig:
     """Build the full configuration for one dataset at one scale.
 
     The optional overrides expose exactly the knobs varied by Tables V and VI
-    (selected clients, transfer fraction, initial clients).
+    (selected clients, transfer fraction, initial clients), plus the
+    performance knobs of the round execution engine: ``executor``
+    (``"serial"`` / ``"parallel"``), ``num_workers`` (0 = one per CPU) and
+    ``dtype`` (``"float64"`` / ``"float32"``).
     """
     scale = scale if scale is not None else get_scale()
     knobs = dict(_SCALE_KNOBS[scale])
@@ -178,6 +184,9 @@ def scaled_config(
             learning_rate=knobs["learning_rate"],
         ),
         seed=seed,
+        executor=executor,
+        num_workers=num_workers,
+        dtype=dtype,
     )
     return ScaledExperimentConfig(
         dataset_name=dataset_name,

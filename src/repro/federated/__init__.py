@@ -19,9 +19,15 @@ from repro.federated.increment import (
 )
 from repro.federated.communication import ClientUpdate, CommunicationLedger
 from repro.federated.client import ClientHandle, LocalTrainingConfig, run_local_sgd
-from repro.federated.server import FederatedServer
+from repro.federated.server import BroadcastHandle, FederatedServer
 from repro.federated.method import FederatedMethod
 from repro.federated.config import FederatedConfig
+from repro.federated.execution import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    build_executor,
+)
 from repro.federated.simulation import FederatedDomainIncrementalSimulation, SimulationResult
 
 __all__ = [
@@ -37,9 +43,14 @@ __all__ = [
     "ClientHandle",
     "LocalTrainingConfig",
     "run_local_sgd",
+    "BroadcastHandle",
     "FederatedServer",
     "FederatedMethod",
     "FederatedConfig",
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "build_executor",
     "FederatedDomainIncrementalSimulation",
     "SimulationResult",
 ]

@@ -13,7 +13,12 @@ import numpy as np
 
 
 def weighted_average_arrays(arrays: Sequence[np.ndarray], weights: Sequence[float]) -> np.ndarray:
-    """Weighted average of equally-shaped arrays with weights normalised to sum to one."""
+    """Weighted average of equally-shaped arrays with weights normalised to sum to one.
+
+    The accumulation dtype follows the inputs: float inputs average in their
+    own precision (so a float32 pipeline stays float32 through FedAvg instead
+    of being silently upcast), anything else falls back to float64.
+    """
     if len(arrays) == 0:
         raise ValueError("cannot average zero arrays")
     if len(arrays) != len(weights):
@@ -25,12 +30,14 @@ def weighted_average_arrays(arrays: Sequence[np.ndarray], weights: Sequence[floa
     if total <= 0:
         raise ValueError("aggregation weights must not all be zero")
     weights = weights / total
-    result = np.zeros_like(np.asarray(arrays[0], dtype=np.float64))
+    first = np.asarray(arrays[0])
+    accum_dtype = first.dtype if first.dtype.kind == "f" else np.dtype(np.float64)
+    result = np.zeros(first.shape, dtype=accum_dtype)
     for array, weight in zip(arrays, weights):
-        array = np.asarray(array, dtype=np.float64)
+        array = np.asarray(array)
         if array.shape != result.shape:
             raise ValueError(f"shape mismatch in aggregation: {array.shape} vs {result.shape}")
-        result += weight * array
+        result += accum_dtype.type(weight) * array
     return result
 
 

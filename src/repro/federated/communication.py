@@ -31,6 +31,10 @@ class ClientUpdate:
         prompt group (``LPG_m``) here, baselines leave it empty.
     train_loss:
         Mean local training loss (for logging / convergence monitoring).
+    metrics:
+        Optional per-component loss breakdown (e.g. RefFiL's ``loss_ce`` /
+        ``loss_gpl`` / ``loss_dpcl`` terms of Eq. 14, keyed for the Table VII
+        ablation).  Logging-only: not counted as communication volume.
     """
 
     client_id: int
@@ -38,6 +42,7 @@ class ClientUpdate:
     num_samples: int
     payload: Dict[str, Any] = field(default_factory=dict)
     train_loss: float = 0.0
+    metrics: Dict[str, float] = field(default_factory=dict)
 
     def upload_bytes(self) -> int:
         """Approximate upload size of this update in bytes."""

@@ -1,0 +1,237 @@
+"""The round execution engine: how a round's selected clients actually run.
+
+Between ``broadcast`` and ``aggregate`` a communication round is
+embarrassingly parallel: every selected client trains independently from the
+same global state.  This module turns that structure into a pluggable
+:class:`Executor`:
+
+* :class:`SerialExecutor` — trains the clients one after another on the
+  simulation's shared model instance, reproducing the historical
+  single-process behaviour bit-for-bit (same client order, same RNG streams,
+  same floating-point summation order).
+* :class:`ParallelExecutor` — fans the clients out over a
+  ``concurrent.futures.ProcessPoolExecutor``.  The round's broadcast is
+  serialized exactly once (via :meth:`BroadcastHandle.serialized`) and shipped
+  to at most ``num_workers`` chunk tasks — never once per client — and each
+  worker process trains on a cached per-process model replica.  Updates are
+  reassembled in the original selection order so FedAvg accumulates in the
+  same order as the serial path and results stay identical for a given seed.
+
+Both executors hand every client the *same* read-only broadcast state, so no
+per-client ``clone_state_dict`` happens anywhere on the hot path.
+
+Methods must follow the picklability contract documented in
+:mod:`repro.federated.method` to be usable under the parallel executor.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import get_default_dtype, set_default_dtype
+from repro.federated.client import ClientHandle
+from repro.federated.communication import ClientUpdate
+from repro.federated.method import FederatedMethod
+from repro.federated.server import BroadcastHandle
+from repro.nn.module import Module
+from repro.nn.serialization import (
+    deserialize_state,
+    readonly_payload_view,
+    readonly_state_view,
+)
+
+# --------------------------------------------------------------------------- #
+# Worker-process machinery (module level so it pickles by reference)
+# --------------------------------------------------------------------------- #
+
+#: Per-worker-process cache of model replicas, keyed by the method identity and
+#: the broadcast state signature, so a replica is built once per process and
+#: then only reloaded with fresh weights every round.
+_WORKER_REPLICAS: Dict[tuple, Module] = {}
+
+
+def _replica_key(method: FederatedMethod, state: Dict[str, np.ndarray]) -> tuple:
+    # State shapes alone cannot distinguish architectures that differ in
+    # non-shape knobs (e.g. attention head counts), so the method's config
+    # repr is folded into the key as a build fingerprint.
+    signature = tuple((name, value.shape, str(value.dtype)) for name, value in state.items())
+    fingerprint = repr(getattr(method, "config", None))
+    return (type(method).__module__, type(method).__qualname__, method.name, fingerprint, signature)
+
+
+def _replica_for(method: FederatedMethod, state: Dict[str, np.ndarray]) -> Module:
+    key = _replica_key(method, state)
+    model = _WORKER_REPLICAS.get(key)
+    if model is None:
+        model = method.build_model()
+        _WORKER_REPLICAS[key] = model
+    return model
+
+
+def _run_client_chunk(
+    method_blob: bytes,
+    broadcast_blob: bytes,
+    indexed_clients: Sequence[Tuple[int, ClientHandle]],
+    dtype_name: str,
+) -> List[Tuple[int, ClientUpdate, Any]]:
+    """Train one worker's share of the round's clients.
+
+    Receives the round-shared data (method + broadcast) as pre-pickled blobs:
+    the parent serialized each exactly once and every chunk reuses the same
+    bytes.  Returns ``(selection_index, update, exported_client_state)``
+    triples so the parent can restore selection order and merge method state.
+    """
+    set_default_dtype(dtype_name)
+    method: FederatedMethod = pickle.loads(method_blob)
+    state, payload = deserialize_state(broadcast_blob)
+    # numpy's writeable=False flag does not survive pickling; re-protect the
+    # shared state and payload so a contract-violating method fails here
+    # exactly as it would under the serial executor, instead of silently
+    # corrupting what later clients in this chunk reload.
+    state = readonly_state_view(state)
+    payload = readonly_payload_view(payload)
+    model = _replica_for(method, state)
+    results: List[Tuple[int, ClientUpdate, Any]] = []
+    for index, client in indexed_clients:
+        model.load_state_dict(state)
+        update = method.local_update(model, state, payload, client)
+        results.append((index, update, method.export_client_state(client.client_id)))
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# Executors
+# --------------------------------------------------------------------------- #
+
+
+class Executor:
+    """Strategy for running one round's local updates; see the module docstring."""
+
+    def run_round(
+        self,
+        method: FederatedMethod,
+        model: Module,
+        broadcast: BroadcastHandle,
+        clients: Sequence[ClientHandle],
+    ) -> List[ClientUpdate]:
+        """Run every client's local update and return updates in client order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any worker resources (idempotent)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """Sequential execution on the caller's model — the historical behaviour."""
+
+    def run_round(
+        self,
+        method: FederatedMethod,
+        model: Module,
+        broadcast: BroadcastHandle,
+        clients: Sequence[ClientHandle],
+    ) -> List[ClientUpdate]:
+        updates: List[ClientUpdate] = []
+        for client in clients:
+            model.load_state_dict(broadcast.state)
+            updates.append(
+                method.local_update(model, broadcast.state, broadcast.payload, client)
+            )
+        return updates
+
+
+class ParallelExecutor(Executor):
+    """Process-pool execution with a single-serialization broadcast.
+
+    ``num_workers`` defaults to the machine's CPU count.  The pool is created
+    lazily on the first round and reused across rounds and tasks; call
+    :meth:`close` (or use the executor as a context manager) to tear it down.
+    Worker processes inherit the parent's compute dtype so float32 runs stay
+    float32 inside the workers.
+    """
+
+    def __init__(self, num_workers: Optional[int] = None) -> None:
+        self.num_workers = max(1, num_workers if num_workers else (os.cpu_count() or 1))
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            # Prefer cheap fork workers only on Linux; macOS forks are unsafe
+            # with live BLAS/Objective-C threads (hence its spawn default),
+            # and the worker entry point is a module-level function, so the
+            # platform default works everywhere else.
+            if sys.platform.startswith("linux") and "fork" in multiprocessing.get_all_start_methods():
+                context = multiprocessing.get_context("fork")
+            else:
+                context = multiprocessing.get_context()
+            self._pool = ProcessPoolExecutor(max_workers=self.num_workers, mp_context=context)
+        return self._pool
+
+    def run_round(
+        self,
+        method: FederatedMethod,
+        model: Module,
+        broadcast: BroadcastHandle,
+        clients: Sequence[ClientHandle],
+    ) -> List[ClientUpdate]:
+        pool = self._ensure_pool()
+        method_blob = pickle.dumps(method, protocol=pickle.HIGHEST_PROTOCOL)
+        broadcast_blob = broadcast.serialized()
+        dtype_name = get_default_dtype().name
+        indexed = list(enumerate(clients))
+        num_chunks = min(self.num_workers, len(indexed))
+        chunks = [indexed[i::num_chunks] for i in range(num_chunks)]
+        futures = [
+            pool.submit(_run_client_chunk, method_blob, broadcast_blob, chunk, dtype_name)
+            for chunk in chunks
+        ]
+        gathered: List[Tuple[int, ClientUpdate, Any]] = []
+        for future in futures:
+            gathered.extend(future.result())
+        gathered.sort(key=lambda item: item[0])
+        updates: List[ClientUpdate] = []
+        for _, update, exported in gathered:
+            updates.append(update)
+            if exported is not None:
+                method.import_client_state(update.client_id, exported)
+        return updates
+
+    def close(self) -> None:
+        if self._pool is not None:
+            # cancel_futures: when a run dies mid-round, don't block the
+            # propagating exception on queued chunks that haven't started.
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __del__(self) -> None:  # pragma: no cover - best-effort cleanup
+        try:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = None
+        except Exception:
+            pass
+
+
+def build_executor(executor: str = "serial", num_workers: int = 0) -> Executor:
+    """Construct an executor from the :class:`FederatedConfig` knobs."""
+    if executor == "serial":
+        return SerialExecutor()
+    if executor == "parallel":
+        return ParallelExecutor(num_workers)
+    raise ValueError(f"unknown executor {executor!r}; choose 'serial' or 'parallel'")
+
+
+__all__ = ["Executor", "SerialExecutor", "ParallelExecutor", "build_executor"]

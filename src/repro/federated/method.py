@@ -8,6 +8,31 @@ evaluation.  The generic simulation
 (:class:`repro.federated.simulation.FederatedDomainIncrementalSimulation`)
 drives any implementation through the same Algorithm-1 skeleton so method
 comparisons differ only in the method itself.
+
+Picklability contract
+---------------------
+The round execution engine (:mod:`repro.federated.execution`) may run
+:meth:`FederatedMethod.local_update` inside worker *processes*.  For that to
+work, implementations must satisfy three rules:
+
+1. **The method object must be picklable.**  Everything reachable from
+   ``self`` — configs, prompt stores, teacher models, Fisher matrices — must
+   survive ``pickle.dumps``.  In particular, do not store lambdas, open
+   files, or generators-of-generators on the method.  Leaf
+   :class:`~repro.nn.module.Parameter` tensors pickle fine; tensors carrying
+   a live autograd graph (non-``None`` ``_backward``) do not, so ``detach()``
+   anything you stash between rounds.
+2. **``local_update`` must not rely on in-place mutation of ``self`` for
+   cross-round state.**  Workers operate on a pickled *copy* of the method;
+   mutations die with the worker.  Per-client state that must persist across
+   rounds (e.g. RefFiL's static ablation prompts) is round-tripped through
+   :meth:`export_client_state` / :meth:`import_client_state` instead.
+3. **``local_update`` must treat ``global_state`` as read-only.**  The server
+   broadcasts one shared, write-protected view per round; mutating it would
+   corrupt every other client's view.  Copy before writing.
+
+Server-side hooks (``on_task_start``, ``aggregate``, ...) always run in the
+main process on the live method object and are unrestricted.
 """
 
 from __future__ import annotations
@@ -55,7 +80,11 @@ class FederatedMethod:
         broadcast_payload: Dict[str, Any],
         client: ClientHandle,
     ) -> ClientUpdate:
-        """Run one client's local training and return its update."""
+        """Run one client's local training and return its update.
+
+        May execute in a worker process on a pickled copy of the method; see
+        the module docstring for the picklability contract.
+        """
         raise NotImplementedError
 
     def aggregate(self, server: FederatedServer, updates: List[ClientUpdate]) -> None:
@@ -65,6 +94,27 @@ class FederatedMethod:
     def predict_logits(self, model: Module, images: Tensor) -> Tensor:
         """Inference path used by the evaluator (default: call the model directly)."""
         return model(images)
+
+    # ------------------------------------------------------------------ #
+    # Cross-process client-state round-trip (default: stateless)
+    # ------------------------------------------------------------------ #
+    def export_client_state(self, client_id: int) -> Optional[Any]:
+        """Picklable per-client state produced by ``local_update``, if any.
+
+        Called right after :meth:`local_update` — in the worker process when
+        a parallel executor is active — so that per-client state mutated
+        during the update (which would otherwise die with the worker) can be
+        shipped back.  Return ``None`` (the default) when the method keeps no
+        such state.
+        """
+        return None
+
+    def import_client_state(self, client_id: int, state: Any) -> None:
+        """Merge state exported by :meth:`export_client_state` into the live method.
+
+        Called in the main process with each non-``None`` export, in client
+        selection order, after the round's local updates complete.
+        """
 
 
 __all__ = ["FederatedMethod"]

@@ -9,7 +9,38 @@ import numpy as np
 from repro.federated.aggregation import fedavg
 from repro.federated.communication import ClientUpdate, CommunicationLedger
 from repro.nn.module import Module
-from repro.nn.serialization import clone_state_dict
+from repro.nn.serialization import (
+    clone_state_dict,
+    readonly_payload_view,
+    readonly_state_view,
+    serialize_state,
+)
+
+
+class BroadcastHandle:
+    """One round's broadcast, shared by every selected client without copies.
+
+    ``state`` is a write-protected, no-copy view of the canonical global state
+    (see :func:`repro.nn.serialization.readonly_state_view`); handing the same
+    handle to all ``M`` clients of a round therefore costs zero array copies,
+    where the legacy :meth:`FederatedServer.broadcast` deep-copied the whole
+    model once per client.  :meth:`serialized` pickles the state and payload
+    at most once per round, so parallel executors ship a single serialization
+    to their workers instead of re-pickling per client.
+    """
+
+    __slots__ = ("state", "payload", "_blob")
+
+    def __init__(self, state: Dict[str, np.ndarray], payload: Dict[str, Any]) -> None:
+        self.state = readonly_state_view(state)
+        self.payload = readonly_payload_view(payload)
+        self._blob: Optional[bytes] = None
+
+    def serialized(self) -> bytes:
+        """The pickled ``(state, payload)`` pair, computed lazily exactly once."""
+        if self._blob is None:
+            self._blob = serialize_state(self.state, self.payload)
+        return self._blob
 
 
 class FederatedServer:
@@ -27,10 +58,27 @@ class FederatedServer:
         self.broadcast_payload: Dict[str, Any] = {}
         self.ledger = CommunicationLedger()
         self.round_counter = 0
+        self._broadcast_handle: Optional[BroadcastHandle] = None
 
     def broadcast(self) -> Dict[str, np.ndarray]:
-        """Return a copy of the global state for a client to load."""
+        """Return a copy of the global state for a client to load.
+
+        Legacy per-client path; the simulation loop now uses
+        :meth:`broadcast_view`, which shares one read-only view across all
+        clients of a round instead of deep-copying per client.
+        """
         return clone_state_dict(self.global_state)
+
+    def broadcast_view(self) -> BroadcastHandle:
+        """Return the round's shared zero-copy broadcast handle.
+
+        The handle is cached until the global state or payload changes, so
+        repeated calls within one round are free and its cached serialization
+        is reused across all workers of a parallel round.
+        """
+        if self._broadcast_handle is None:
+            self._broadcast_handle = BroadcastHandle(self.global_state, self.broadcast_payload)
+        return self._broadcast_handle
 
     def aggregate(self, updates: List[ClientUpdate]) -> Dict[str, np.ndarray]:
         """FedAvg the updates into a new global state (weighted by |D_m|)."""
@@ -44,6 +92,7 @@ class FederatedServer:
         self.model.load_state_dict(new_state)
         self.ledger.record_round(updates, new_state, self.broadcast_payload)
         self.round_counter += 1
+        self._broadcast_handle = None
         return new_state
 
     def load_into(self, model: Module) -> None:
@@ -53,6 +102,7 @@ class FederatedServer:
     def set_broadcast_payload(self, payload: Dict[str, Any]) -> None:
         """Attach method-specific broadcast content (e.g. RefFiL's global prompts)."""
         self.broadcast_payload = payload
+        self._broadcast_handle = None
 
 
-__all__ = ["FederatedServer"]
+__all__ = ["FederatedServer", "BroadcastHandle"]

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.autograd.tensor import default_dtype, get_default_dtype
 from repro.continual.evaluator import GlobalEvaluator
 from repro.continual.metrics import ContinualMetrics
 from repro.continual.scenario import DomainIncrementalScenario, Task
@@ -33,6 +34,7 @@ from repro.datasets.partition import partition_domain_across_clients
 from repro.federated.client import ClientHandle
 from repro.federated.communication import ClientUpdate, CommunicationLedger
 from repro.federated.config import FederatedConfig
+from repro.federated.execution import build_executor
 from repro.federated.increment import ClientGroup, ClientIncrementSchedule
 from repro.federated.method import FederatedMethod
 from repro.federated.sampling import sample_clients
@@ -52,13 +54,32 @@ class SimulationResult:
     metrics: ContinualMetrics
     per_task_accuracy: List[Dict[str, float]] = field(default_factory=list)
     round_losses: List[float] = field(default_factory=list)
+    round_loss_components: List[Dict[str, float]] = field(default_factory=list)
     communication: Optional[CommunicationLedger] = None
     schedule_trace: List[Dict[str, int]] = field(default_factory=list)
     wall_clock_seconds: float = 0.0
 
 
+def _mean_update_metrics(updates: List[ClientUpdate]) -> Dict[str, float]:
+    """Client-mean of every metric key reported by all of the round's updates."""
+    if not updates or not updates[0].metrics:
+        return {}
+    shared = set(updates[0].metrics)
+    for update in updates[1:]:
+        shared &= set(update.metrics)
+    return {
+        key: float(np.mean([update.metrics[key] for update in updates])) for key in sorted(shared)
+    }
+
+
 class FederatedDomainIncrementalSimulation:
-    """Runs one method over one scenario under one federated configuration."""
+    """Runs one method over one scenario under one federated configuration.
+
+    The per-round client loop is delegated to a
+    :class:`repro.federated.execution.Executor` selected by
+    ``config.executor`` / ``config.num_workers``, and the whole run executes
+    under the compute dtype selected by ``config.dtype``.
+    """
 
     def __init__(
         self,
@@ -69,9 +90,11 @@ class FederatedDomainIncrementalSimulation:
         self.scenario = scenario
         self.method = method
         self.config = config
-        self.model = method.build_model()
+        with default_dtype(config.dtype):
+            self.model = method.build_model()
         self.server = FederatedServer(self.model)
         self.schedule = ClientIncrementSchedule(config.increment)
+        self.executor = build_executor(config.executor, config.num_workers)
         self.evaluator = GlobalEvaluator(
             scenario,
             batch_size=config.eval_batch_size,
@@ -83,6 +106,7 @@ class FederatedDomainIncrementalSimulation:
         self._training_data: Dict[int, ArrayDataset] = {}
         self._domains_held: Dict[int, List[int]] = {}
         self.round_losses: List[float] = []
+        self.round_loss_components: List[Dict[str, float]] = []
         self.timer = Timer()
 
     # ------------------------------------------------------------------ #
@@ -95,6 +119,11 @@ class FederatedDomainIncrementalSimulation:
         shards = partition_domain_across_clients(
             task.train, takers, rng, concentration=self.config.partition_concentration
         )
+        # Scenarios are built before the simulation (possibly at a different
+        # precision); convert each shard to the run's compute dtype once here,
+        # so training batches and worker IPC stay at that precision instead of
+        # re-casting per batch.
+        shards = {client_id: shard.astype(get_default_dtype()) for client_id, shard in shards.items()}
         for client_id in assignment.active_clients:
             group = assignment.group_of(client_id)
             if group is ClientGroup.NEW:
@@ -136,9 +165,8 @@ class FederatedDomainIncrementalSimulation:
                 "check the increment schedule and partitioning configuration"
             )
         selected = sample_clients(eligible, self.config.clients_per_round, rng)
-        updates: List[ClientUpdate] = []
-        for client_id in selected:
-            handle = ClientHandle(
+        handles = [
+            ClientHandle(
                 client_id=client_id,
                 task_id=task.task_id,
                 group=assignment.group_of(client_id),
@@ -152,17 +180,25 @@ class FederatedDomainIncrementalSimulation:
                     "num_tasks": float(self.scenario.num_tasks),
                 },
             )
-            global_state = self.server.broadcast()
-            self.model.load_state_dict(global_state)
-            with self.timer.measure("local_update"):
-                update = self.method.local_update(
-                    self.model, global_state, self.server.broadcast_payload, handle
-                )
-            updates.append(update)
+            for client_id in selected
+        ]
+        # One shared read-only broadcast per round (zero per-client copies).
+        with self.timer.measure("broadcast"):
+            broadcast = self.server.broadcast_view()
+        with self.timer.measure("local_update"):
+            updates = self.executor.run_round(self.method, self.model, broadcast, handles)
         with self.timer.measure("aggregate"):
             self.method.aggregate(self.server, updates)
         mean_loss = float(np.mean([update.train_loss for update in updates]))
         self.round_losses.append(mean_loss)
+        self.round_loss_components.append(_mean_update_metrics(updates))
+        if self.round_loss_components[-1]:
+            logger.debug(
+                "task %d round %d loss components: %s",
+                task.task_id,
+                round_index,
+                ", ".join(f"{k}={v:.4f}" for k, v in self.round_loss_components[-1].items()),
+            )
         logger.debug(
             "task %d round %d: %d clients, mean loss %.4f",
             task.task_id,
@@ -176,36 +212,45 @@ class FederatedDomainIncrementalSimulation:
     # ------------------------------------------------------------------ #
     def run_task(self, task: Task) -> Dict[str, float]:
         """Run all rounds of one task and return per-domain evaluation accuracies."""
-        self.method.on_task_start(task.task_id, self.server)
-        self._assign_task_data(task)
-        for round_index in range(self.config.rounds_per_task):
-            self._run_round(task, round_index)
-        self.method.on_task_end(task.task_id, self.server)
-        self.model.load_state_dict(self.server.global_state)
-        with self.timer.measure("evaluation"):
-            return self.evaluator.evaluate_after_task(self.model, task.task_id)
+        with default_dtype(self.config.dtype):
+            self.method.on_task_start(task.task_id, self.server)
+            self._assign_task_data(task)
+            for round_index in range(self.config.rounds_per_task):
+                self._run_round(task, round_index)
+            self.method.on_task_end(task.task_id, self.server)
+            self.model.load_state_dict(self.server.global_state)
+            with self.timer.measure("evaluation"):
+                return self.evaluator.evaluate_after_task(self.model, task.task_id)
 
     def run(self) -> SimulationResult:
         """Run the complete domain-incremental stream and return the summary."""
-        with self.timer.measure("total"):
-            for task in self.scenario:
-                results = self.run_task(task)
-                logger.info(
-                    "[%s] task %d (%s): %s",
-                    self.method.name,
-                    task.task_id,
-                    task.domain_name,
-                    ", ".join(f"{name}={acc:.3f}" for name, acc in results.items()),
-                )
+        try:
+            with self.timer.measure("total"):
+                for task in self.scenario:
+                    results = self.run_task(task)
+                    logger.info(
+                        "[%s] task %d (%s): %s",
+                        self.method.name,
+                        task.task_id,
+                        task.domain_name,
+                        ", ".join(f"{name}={acc:.3f}" for name, acc in results.items()),
+                    )
+        finally:
+            self.close()
         return SimulationResult(
             method_name=self.method.name,
             metrics=self.evaluator.summary(),
             per_task_accuracy=self.evaluator.per_task_history,
             round_losses=self.round_losses,
+            round_loss_components=self.round_loss_components,
             communication=self.server.ledger,
             schedule_trace=self.schedule.schedule_trace(self.scenario.num_tasks),
             wall_clock_seconds=self.timer.total("total"),
         )
+
+    def close(self) -> None:
+        """Release executor resources (worker pools); idempotent."""
+        self.executor.close()
 
 
 __all__ = ["FederatedDomainIncrementalSimulation", "SimulationResult"]

@@ -13,7 +13,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from repro.autograd.tensor import Tensor
+from repro.autograd.tensor import Tensor, get_default_dtype
 
 
 class Parameter(Tensor):
@@ -44,7 +44,7 @@ class Module:
 
     def register_buffer(self, name: str, array: np.ndarray) -> None:
         """Register a non-trainable persistent array (e.g. BatchNorm running stats)."""
-        self._buffers[name] = np.asarray(array, dtype=np.float64)
+        self._buffers[name] = np.asarray(array, dtype=get_default_dtype())
         object.__setattr__(self, name, self._buffers[name])
 
     def register_parameter(self, name: str, parameter: Parameter) -> None:

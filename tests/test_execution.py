@@ -1,0 +1,264 @@
+"""Tests of the round execution engine: executor parity, broadcast handle, dtype path."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+from dataclasses import replace
+
+from repro.autograd.tensor import (
+    default_dtype,
+    get_default_dtype,
+    set_default_dtype,
+)
+from repro.baselines.registry import build_method
+from repro.continual import DomainIncrementalScenario
+from repro.datasets import SyntheticDomainDataset
+from repro.federated import (
+    FederatedConfig,
+    FederatedDomainIncrementalSimulation,
+    ParallelExecutor,
+    SerialExecutor,
+    build_executor,
+)
+from repro.federated.client import ClientHandle, LocalTrainingConfig
+from repro.federated.increment import ClientGroup
+from repro.federated.server import FederatedServer
+
+
+def _run_simulation(tiny_spec, tiny_backbone_config, config, method_name="refil"):
+    scenario = DomainIncrementalScenario(SyntheticDomainDataset(tiny_spec), num_tasks=2)
+    method = build_method(method_name, tiny_backbone_config, num_tasks=scenario.num_tasks)
+    return FederatedDomainIncrementalSimulation(scenario, method, config).run()
+
+
+class TestExecutorParity:
+    def test_serial_and_parallel_runs_are_identical(
+        self, tiny_spec, tiny_backbone_config, tiny_federated_config
+    ):
+        serial = _run_simulation(tiny_spec, tiny_backbone_config, tiny_federated_config)
+        parallel = _run_simulation(
+            tiny_spec,
+            tiny_backbone_config,
+            replace(tiny_federated_config, executor="parallel", num_workers=2),
+        )
+        np.testing.assert_array_equal(serial.metrics.matrix, parallel.metrics.matrix)
+        assert serial.round_losses == parallel.round_losses
+        assert serial.round_loss_components == parallel.round_loss_components
+
+    def test_one_and_many_workers_are_identical(
+        self, tiny_spec, tiny_backbone_config, tiny_federated_config
+    ):
+        one = _run_simulation(
+            tiny_spec,
+            tiny_backbone_config,
+            replace(tiny_federated_config, executor="parallel", num_workers=1),
+        )
+        two = _run_simulation(
+            tiny_spec,
+            tiny_backbone_config,
+            replace(tiny_federated_config, executor="parallel", num_workers=2),
+        )
+        np.testing.assert_array_equal(one.metrics.matrix, two.metrics.matrix)
+        assert one.round_losses == two.round_losses
+
+    def test_parity_with_stateful_static_prompt_ablation(
+        self, tiny_spec, tiny_backbone_config, tiny_federated_config
+    ):
+        """refil_gpl disables CDAP, so clients train persistent static prompts;
+        the parallel executor must round-trip them through export/import."""
+        config = replace(tiny_federated_config, rounds_per_task=2)
+        serial = _run_simulation(tiny_spec, tiny_backbone_config, config, "refil_gpl")
+        parallel = _run_simulation(
+            tiny_spec,
+            tiny_backbone_config,
+            replace(config, executor="parallel", num_workers=2),
+            "refil_gpl",
+        )
+        np.testing.assert_array_equal(serial.metrics.matrix, parallel.metrics.matrix)
+        assert serial.round_losses == parallel.round_losses
+
+    def test_build_executor_validation(self):
+        assert isinstance(build_executor("serial"), SerialExecutor)
+        assert isinstance(build_executor("parallel", 2), ParallelExecutor)
+        with pytest.raises(ValueError):
+            build_executor("threads")
+        with pytest.raises(ValueError):
+            FederatedConfig(executor="bogus")
+        with pytest.raises(ValueError):
+            FederatedConfig(dtype="int32")
+
+
+class TestBroadcastHandle:
+    def _server(self, tiny_backbone_config):
+        method = build_method("finetune", tiny_backbone_config, num_tasks=1)
+        return FederatedServer(method.build_model())
+
+    def test_view_shares_memory_and_refuses_writes(self, tiny_backbone_config):
+        server = self._server(tiny_backbone_config)
+        handle = server.broadcast_view()
+        for key, view in handle.state.items():
+            assert np.shares_memory(view, server.global_state[key])
+            assert not view.flags.writeable
+        with pytest.raises(ValueError):
+            next(iter(handle.state.values()))[...] = 0.0
+
+    def test_handle_and_serialization_are_cached_per_round(self, tiny_backbone_config):
+        server = self._server(tiny_backbone_config)
+        handle = server.broadcast_view()
+        assert server.broadcast_view() is handle
+        assert handle.serialized() is handle.serialized()
+        server.set_broadcast_payload({"x": np.zeros(2)})
+        assert server.broadcast_view() is not handle
+
+    def test_legacy_broadcast_still_deep_copies(self, tiny_backbone_config):
+        server = self._server(tiny_backbone_config)
+        copy = server.broadcast()
+        for key, value in copy.items():
+            assert not np.shares_memory(value, server.global_state[key])
+            value[...] = 0.0  # writable
+
+
+class _StateMutatingMethod:
+    """A contract-violating method that writes to the shared broadcast state.
+
+    Module-level (not a closure) so it pickles by reference like real methods.
+    Only implements what ``_run_client_chunk`` touches.
+    """
+
+    name = "mutator"
+
+    def __init__(self, backbone_config):
+        self.backbone_config = backbone_config
+
+    def build_model(self):
+        from repro.models.backbone import PromptedBackbone
+
+        return PromptedBackbone(self.backbone_config)
+
+    def local_update(self, model, global_state, broadcast_payload, client):
+        next(iter(global_state.values()))[...] = 0.0  # must raise read-only
+
+    def export_client_state(self, client_id):
+        return None
+
+
+class TestWorkerContract:
+    def test_worker_reprotects_broadcast_state_after_pickling(
+        self, tiny_spec, tiny_backbone_config
+    ):
+        """numpy's writeable flag does not survive pickling; the worker must
+        re-apply the read-only view so contract violations fail in parallel
+        mode exactly as they do in serial mode."""
+        from repro.federated.execution import _run_client_chunk
+        from repro.nn.serialization import serialize_state
+
+        method = _StateMutatingMethod(tiny_backbone_config)
+        state = method.build_model().state_dict()
+        client = ClientHandle(
+            client_id=0,
+            task_id=0,
+            group=ClientGroup.NEW,
+            dataset=SyntheticDomainDataset(tiny_spec).domain_split(0, "train"),
+            rng=np.random.default_rng(0),
+            training=LocalTrainingConfig(local_epochs=1, batch_size=8, learning_rate=0.05),
+        )
+        with pytest.raises(ValueError, match="read-only"):
+            _run_client_chunk(
+                pickle.dumps(method), serialize_state(state, {}), [(0, client)], "float64"
+            )
+
+
+class TestPrecision:
+    def _local_update(self, tiny_spec, tiny_backbone_config):
+        method = build_method("refil", tiny_backbone_config, num_tasks=2)
+        model = method.build_model()
+        server = FederatedServer(model)
+        dataset = SyntheticDomainDataset(tiny_spec).domain_split(0, "train")
+        client = ClientHandle(
+            client_id=0,
+            task_id=0,
+            group=ClientGroup.NEW,
+            dataset=dataset,
+            rng=np.random.default_rng(3),
+            training=LocalTrainingConfig(local_epochs=1, batch_size=8, learning_rate=0.05),
+        )
+        return method.local_update(model, server.broadcast(), server.broadcast_payload, client)
+
+    def test_float32_local_update_matches_float64_within_tolerance(
+        self, tiny_spec, tiny_backbone_config
+    ):
+        with default_dtype(np.float64):
+            reference = self._local_update(tiny_spec, tiny_backbone_config)
+        with default_dtype(np.float32):
+            low_precision = self._local_update(tiny_spec, tiny_backbone_config)
+        assert low_precision.train_loss == pytest.approx(reference.train_loss, rel=1e-3, abs=1e-4)
+        for key, value in reference.state_dict.items():
+            assert low_precision.state_dict[key].dtype == np.float32
+            np.testing.assert_allclose(
+                low_precision.state_dict[key], value, rtol=1e-2, atol=1e-3
+            )
+
+    def test_dataset_astype_honors_requested_dtype_off_default(self):
+        from repro.datasets.base import ArrayDataset
+
+        with default_dtype(np.float32):
+            dataset = ArrayDataset(np.zeros((2, 3, 4, 4)), np.zeros(2, dtype=np.int64))
+            assert dataset.images.dtype == np.float32
+            widened = dataset.astype(np.float64)
+        assert widened.images.dtype == np.float64
+        assert dataset.astype(np.float32) is dataset
+
+    def test_default_dtype_context_restores(self):
+        assert get_default_dtype() == np.float64
+        with default_dtype("float32"):
+            assert get_default_dtype() == np.float32
+        assert get_default_dtype() == np.float64
+        with pytest.raises(ValueError):
+            set_default_dtype(np.int64)
+
+    def test_float32_simulation_end_to_end(
+        self, tiny_spec, tiny_backbone_config, tiny_federated_config
+    ):
+        result = _run_simulation(
+            tiny_spec,
+            tiny_backbone_config,
+            replace(tiny_federated_config, dtype="float32"),
+        )
+        assert np.isfinite(result.metrics.matrix[~np.isnan(result.metrics.matrix)]).all()
+        assert all(np.isfinite(loss) for loss in result.round_losses)
+        # the context manager must not leak the dtype into the process default
+        assert get_default_dtype() == np.float64
+
+
+class TestLossBreakdown:
+    def test_refil_update_reports_loss_components(self, tiny_spec, tiny_backbone_config):
+        method = build_method("refil", tiny_backbone_config, num_tasks=2)
+        model = method.build_model()
+        server = FederatedServer(model)
+        dataset = SyntheticDomainDataset(tiny_spec).domain_split(0, "train")
+        client = ClientHandle(
+            client_id=0,
+            task_id=0,
+            group=ClientGroup.NEW,
+            dataset=dataset,
+            rng=np.random.default_rng(3),
+            training=LocalTrainingConfig(local_epochs=1, batch_size=8, learning_rate=0.05),
+        )
+        update = method.local_update(model, server.broadcast(), server.broadcast_payload, client)
+        metrics = update.metrics
+        assert set(metrics) == {"loss_ce", "loss_gpl", "loss_dpcl", "loss_total"}
+        assert metrics["loss_total"] == pytest.approx(update.train_loss)
+        assert metrics["loss_total"] == pytest.approx(
+            metrics["loss_ce"] + metrics["loss_gpl"] + metrics["loss_dpcl"], rel=1e-9
+        )
+
+    def test_simulation_records_round_loss_components(
+        self, tiny_spec, tiny_backbone_config, tiny_federated_config
+    ):
+        result = _run_simulation(tiny_spec, tiny_backbone_config, tiny_federated_config)
+        assert len(result.round_loss_components) == len(result.round_losses)
+        for components, mean_loss in zip(result.round_loss_components, result.round_losses):
+            assert components["loss_total"] == pytest.approx(mean_loss)
