@@ -9,6 +9,14 @@ parallel executor (``num_workers=4``), verifies the two produce identical
 updates, and records per-phase wall-clock plus the speedup into
 ``BENCH_round.json``.
 
+The IPC section (``round_ipc``) exercises the client data plane over a
+two-task stream: with the per-worker shard cache on, a client's shard crosses
+the process boundary only on the first round of each task (per-round shard
+bytes drop to ~0 afterwards; the task boundary re-ships because in-between
+style concatenation changes the shard fingerprint), while the uncached
+baseline re-ships every round.  Serial, cached-parallel and uncached-parallel
+updates are asserted identical round by round.
+
 Note: the speedup scales with physical cores; on a single-core CI box the
 parallel executor can only match serial (minus pool overhead), so the bench
 reports the measurement without asserting a minimum speedup.
@@ -83,7 +91,8 @@ def test_round_serial_vs_parallel(benchmark, bench_record):
     # original clients' RNG streams in place, so rebuild identical ones.
     _, _, _, fresh_clients = _build_round()
     with ParallelExecutor(num_workers=NUM_WORKERS) as parallel:
-        # Warm-up pays the one-time pool fork + import cost outside the timing.
+        # Warm-up pays the one-time pool fork + import cost (and the task's
+        # one-time shard shipment) outside the timing.
         with timer.measure("parallel_warmup"):
             parallel_updates = parallel.run_round(
                 method, model, server.broadcast_view(), fresh_clients
@@ -91,6 +100,7 @@ def test_round_serial_vs_parallel(benchmark, bench_record):
         for _ in range(ROUND_REPS):
             with timer.measure("parallel_round"):
                 parallel.run_round(method, model, server.broadcast_view(), fresh_clients)
+        ipc_log = parallel.ipc_log
 
     # Executor parity: both paths must produce identical client updates.
     assert len(serial_updates) == len(parallel_updates) == NUM_CLIENTS
@@ -113,19 +123,141 @@ def test_round_serial_vs_parallel(benchmark, bench_record):
             "parallel_warmup_s": timer.total("parallel_warmup"),
             "speedup": speedup,
             "parity": True,
+            # Shard IPC of the timed reps: the warm-up round ships every
+            # shard, the timed rounds run on pure cache hits (0 bytes).
+            "warmup_shard_bytes": ipc_log[0].shard_bytes,
+            "timed_round_shard_bytes": ipc_log[-1].shard_bytes,
         },
     )
+    # The timed reps reuse the warm-up's shards: pure cache hits, zero bytes.
+    assert ipc_log[0].shard_bytes > 0
+    assert all(ipc.shard_bytes == 0 for ipc in ipc_log[1:])
     print(f"\nround of {NUM_CLIENTS} clients (mean of {timer.count('serial_round')} serial / "
           f"{timer.count('parallel_round')} parallel reps, warm-ups excluded):")
     print(f"  serial   : {serial_s * 1000:.1f} ms")
     print(f"  parallel : {parallel_s * 1000:.1f} ms  (num_workers={NUM_WORKERS}, "
           f"warmup {timer.total('parallel_warmup') * 1000:.0f} ms)")
     print(f"  speedup  : {speedup:.2f}x (scales with physical cores)")
+    print(f"  shard IPC: {ipc_log[0].shard_bytes} B warm-up round, "
+          f"{ipc_log[-1].shard_bytes} B per timed round (cache hits)")
+
+
+def _multitask_datasets():
+    """Two tasks' client shards; task-1 shards concatenate task-0 data the way
+    in-between clients do, so the cached run exercises fingerprint invalidation."""
+    from repro.datasets.base import ArrayDataset
+
+    spec = get_dataset_spec("office_caltech").scaled(
+        train_per_domain=96, test_per_domain=16, num_classes=4
+    )
+    per_task = []
+    for task_id in range(2):
+        data = generate_domain_split(spec, task_id, "train")
+        shard = len(data) // NUM_CLIENTS
+        per_task.append(
+            [data.subset(np.arange(i * shard, (i + 1) * shard)) for i in range(NUM_CLIENTS)]
+        )
+    merged = [
+        ArrayDataset.concatenate((old, new)) for old, new in zip(per_task[0], per_task[1])
+    ]
+    return spec, [per_task[0], merged]
+
+
+def _multitask_handles(task_datasets, task_id, round_index):
+    return [
+        ClientHandle(
+            client_id=i,
+            task_id=task_id,
+            group=ClientGroup.IN_BETWEEN if task_id else ClientGroup.NEW,
+            dataset=dataset,
+            rng=spawn_rng(0, "client", i, task_id, round_index),
+            training=LocalTrainingConfig(local_epochs=1, batch_size=16, learning_rate=0.05),
+        )
+        for i, dataset in enumerate(task_datasets[task_id])
+    ]
+
+
+def test_round_ipc_multitask_parity(bench_record):
+    """The data-plane contract, measured: per-round shard bytes drop to ~0
+    after each task's first round with the cache on, the task boundary
+    re-ships, the uncached baseline pays every round — and all three
+    executions (serial, cached, uncached) produce identical updates."""
+    ROUNDS_PER_TASK = 2
+    spec, task_datasets = _multitask_datasets()
+    backbone = BackboneConfig(
+        image_size=spec.image_size, num_classes=spec.num_classes,
+        base_width=8, embed_dim=32, seed=0,
+    )
+
+    def run(make_executor):
+        method = RefFiLMethod(RefFiLConfig(backbone=backbone, max_tasks=2))
+        model = method.build_model()
+        server = FederatedServer(model)
+        rounds = []
+        with make_executor() as executor:
+            for task_id in range(2):
+                for round_index in range(ROUNDS_PER_TASK):
+                    handles = _multitask_handles(task_datasets, task_id, round_index)
+                    rounds.append(
+                        executor.run_round(method, model, server.broadcast_view(), handles)
+                    )
+            return rounds, getattr(executor, "ipc_log", None)
+
+    serial_rounds, _ = run(SerialExecutor)
+    cached_rounds, cached_log = run(lambda: ParallelExecutor(num_workers=NUM_WORKERS))
+    uncached_rounds, uncached_log = run(
+        lambda: ParallelExecutor(num_workers=NUM_WORKERS, shard_cache=False)
+    )
+
+    for candidate_rounds in (cached_rounds, uncached_rounds):
+        assert len(candidate_rounds) == len(serial_rounds)
+        for reference, candidate in zip(serial_rounds, candidate_rounds):
+            assert [u.client_id for u in reference] == [u.client_id for u in candidate]
+            assert [u.train_loss for u in reference] == [u.train_loss for u in candidate]
+            for left, right in zip(reference, candidate):
+                for key in left.state_dict:
+                    np.testing.assert_array_equal(left.state_dict[key], right.state_dict[key])
+
+    cached_bytes = [ipc.shard_bytes for ipc in cached_log]
+    uncached_bytes = [ipc.shard_bytes for ipc in uncached_log]
+    # Cache on: first round of each task ships, later rounds are hits.
+    assert cached_bytes[0] > 0 and cached_bytes[ROUNDS_PER_TASK] > 0
+    assert all(
+        b == 0
+        for task in range(2)
+        for b in cached_bytes[task * ROUNDS_PER_TASK + 1 : (task + 1) * ROUNDS_PER_TASK]
+    )
+    # Task-1 shards are concatenations (bigger fingerprinted payloads), so the
+    # boundary genuinely re-shipped rather than reusing task-0 entries.
+    assert cached_bytes[ROUNDS_PER_TASK] > cached_bytes[0]
+    # Cache off: every round pays full shard IPC.
+    assert all(b > 0 for b in uncached_bytes)
+
+    bench_record(
+        "round_ipc",
+        {
+            "clients_per_round": NUM_CLIENTS,
+            "num_workers": NUM_WORKERS,
+            "num_tasks": 2,
+            "rounds_per_task": ROUNDS_PER_TASK,
+            "shard_bytes_per_round_cached": cached_bytes,
+            "shard_bytes_per_round_uncached": uncached_bytes,
+            "cache_hits_total": sum(ipc.cache_hits for ipc in cached_log),
+            "broadcast_bytes_per_round": cached_log[0].broadcast_bytes,
+            "multitask_parity": True,
+        },
+    )
+    print(f"\nshard IPC per round over 2 tasks x {ROUNDS_PER_TASK} rounds "
+          f"({NUM_CLIENTS} clients, num_workers={NUM_WORKERS}):")
+    print(f"  cached   : {cached_bytes} B")
+    print(f"  uncached : {uncached_bytes} B")
 
 
 @pytest.mark.slow
 def test_round_parallel_full_simulation_parity(bench_record):
-    """Whole-run parity at bench scale: serial and parallel runs are identical."""
+    """Whole-run parity at bench scale: serial and parallel (with and without
+    the shard cache) are identical over a multi-task run whose two rounds per
+    task exercise cache hits and whose task boundary exercises invalidation."""
     from repro.continual.scenario import DomainIncrementalScenario
     from repro.datasets.registry import build_dataset
     from repro.federated.config import FederatedConfig
@@ -140,7 +272,7 @@ def test_round_parallel_full_simulation_parity(bench_record):
         base_width=8, embed_dim=32, seed=0,
     )
 
-    def run(executor):
+    def run(executor, shard_cache=True):
         dataset = build_dataset("office_caltech", spec_override=spec)
         scenario = DomainIncrementalScenario(dataset, num_tasks=2)
         method = RefFiLMethod(RefFiLConfig(backbone=backbone, max_tasks=2))
@@ -149,16 +281,20 @@ def test_round_parallel_full_simulation_parity(bench_record):
                 initial_clients=NUM_CLIENTS, increment_per_task=1, transfer_fraction=0.5, seed=0
             ),
             clients_per_round=NUM_CLIENTS,
-            rounds_per_task=1,
+            rounds_per_task=2,
             local=LocalTrainingConfig(local_epochs=1, batch_size=16, learning_rate=0.05),
             seed=0,
             executor=executor,
             num_workers=NUM_WORKERS,
+            shard_cache=shard_cache,
         )
         return FederatedDomainIncrementalSimulation(scenario, method, config).run()
 
     serial_result = run("serial")
-    parallel_result = run("parallel")
-    np.testing.assert_array_equal(serial_result.metrics.matrix, parallel_result.metrics.matrix)
-    assert serial_result.round_losses == parallel_result.round_losses
+    for shard_cache in (True, False):
+        parallel_result = run("parallel", shard_cache=shard_cache)
+        np.testing.assert_array_equal(
+            serial_result.metrics.matrix, parallel_result.metrics.matrix
+        )
+        assert serial_result.round_losses == parallel_result.round_losses
     bench_record("round_parallel", {"full_simulation_parity": True})

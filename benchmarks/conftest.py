@@ -11,8 +11,9 @@ table, and the printed output is the table itself.
 Perf-tracking benches (``bench_round_parallel``, the fig-2 precision bench)
 additionally push their measurements into the session-scoped ``bench_record``
 fixture; at session end everything collected is written to
-``BENCH_round.json`` at the repository root, so the performance trajectory is
-machine-readable across PRs.
+``BENCH_round.json`` at the repository root.  Sections are append-only: a
+re-measured section keeps its prior snapshots under ``history``, so the
+performance trajectory stays machine-readable across PRs.
 """
 
 from __future__ import annotations
@@ -49,10 +50,12 @@ def bench_record():
 def pytest_sessionfinish(session, exitstatus):
     if not _BENCH_RESULTS or exitstatus != 0:
         return
-    # Merge into any existing file so partial bench invocations refresh their
-    # own sections without discarding measurements from other benches.  The
-    # environment (scale, cpu count, time) is stamped per section, since the
-    # preserved sections may come from runs under different conditions.
+    # Sections are append-only across sessions: when a section is re-measured,
+    # its previous content is pushed onto the section's "history" list (oldest
+    # first) instead of being overwritten, so numbers recorded by earlier PRs
+    # survive every later bench run.  Sections not measured this session are
+    # left untouched.  The environment (scale, cpu count, time) is stamped per
+    # snapshot, since entries may come from runs under different conditions.
     results: Dict[str, dict] = {}
     if _BENCH_JSON_PATH.exists():
         try:
@@ -69,8 +72,16 @@ def pytest_sessionfinish(session, exitstatus):
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
     }
     for section, data in _BENCH_RESULTS.items():
-        results.setdefault(section, {}).update(data)
-        results[section]["environment"] = environment
+        previous = dict(results.get(section, {}))
+        history = previous.pop("history", [])
+        if previous:
+            history = history + [previous]
+        # Carry forward keys the session did not re-measure (e.g. the slow
+        # bench's keys after a fast-only run) so partial invocations never
+        # shrink a section's latest view.  "environment" describes this
+        # session's measurements only; a carried key's true provenance is the
+        # newest history snapshot that recorded it, which kept its own stamp.
+        results[section] = {**previous, **data, "environment": environment, "history": history}
     _BENCH_JSON_PATH.write_text(
         json.dumps({"results": results}, indent=2, sort_keys=True) + "\n"
     )

@@ -87,8 +87,17 @@ class DomainIncrementalScenario:
         return self._num_tasks
 
     def seen_tests(self, up_to_task: int) -> List[Task]:
-        """Tasks 0..up_to_task inclusive (their test sets are the evaluation suite)."""
-        return [self.task(i) for i in range(min(up_to_task, self._num_tasks - 1) + 1)]
+        """Tasks 0..up_to_task inclusive (their test sets are the evaluation suite).
+
+        Out-of-range ids raise :class:`IndexError` exactly like :meth:`task`;
+        silently clamping would let a caller bug evaluate the wrong suite
+        without any signal.
+        """
+        if not 0 <= up_to_task < self._num_tasks:
+            raise IndexError(
+                f"up_to_task {up_to_task} out of range [0, {self._num_tasks})"
+            )
+        return [self.task(i) for i in range(up_to_task + 1)]
 
 
 __all__ = ["Task", "DomainIncrementalScenario"]

@@ -136,6 +136,7 @@ def scaled_config(
     num_tasks: Optional[int] = None,
     executor: str = "serial",
     num_workers: int = 0,
+    shard_cache: bool = True,
     dtype: str = "float64",
 ) -> ScaledExperimentConfig:
     """Build the full configuration for one dataset at one scale.
@@ -143,8 +144,9 @@ def scaled_config(
     The optional overrides expose exactly the knobs varied by Tables V and VI
     (selected clients, transfer fraction, initial clients), plus the
     performance knobs of the round execution engine: ``executor``
-    (``"serial"`` / ``"parallel"``), ``num_workers`` (0 = one per CPU) and
-    ``dtype`` (``"float64"`` / ``"float32"``).
+    (``"serial"`` / ``"parallel"``), ``num_workers`` (0 = one per CPU),
+    ``shard_cache`` (per-worker client-shard cache of the parallel data
+    plane, default on) and ``dtype`` (``"float64"`` / ``"float32"``).
     """
     scale = scale if scale is not None else get_scale()
     knobs = dict(_SCALE_KNOBS[scale])
@@ -186,6 +188,7 @@ def scaled_config(
         seed=seed,
         executor=executor,
         num_workers=num_workers,
+        shard_cache=shard_cache,
         dtype=dtype,
     )
     return ScaledExperimentConfig(

@@ -18,13 +18,14 @@ from repro.federated.increment import (
     TaskAssignment,
 )
 from repro.federated.communication import ClientUpdate, CommunicationLedger
-from repro.federated.client import ClientHandle, LocalTrainingConfig, run_local_sgd
+from repro.federated.client import ClientHandle, LocalTrainingConfig, ShardRef, run_local_sgd
 from repro.federated.server import BroadcastHandle, FederatedServer
 from repro.federated.method import FederatedMethod
 from repro.federated.config import FederatedConfig
 from repro.federated.execution import (
     Executor,
     ParallelExecutor,
+    RoundIPC,
     SerialExecutor,
     build_executor,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "CommunicationLedger",
     "ClientHandle",
     "LocalTrainingConfig",
+    "ShardRef",
     "run_local_sgd",
     "BroadcastHandle",
     "FederatedServer",
@@ -50,6 +52,7 @@ __all__ = [
     "Executor",
     "SerialExecutor",
     "ParallelExecutor",
+    "RoundIPC",
     "build_executor",
     "FederatedDomainIncrementalSimulation",
     "SimulationResult",

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
@@ -34,6 +34,29 @@ class LocalTrainingConfig:
             raise ValueError("learning_rate must be positive")
 
 
+@dataclass(frozen=True)
+class ShardRef:
+    """Identity of a client's training shard, without the payload.
+
+    The parallel executor's data plane ships this light reference with every
+    round's handles and the shard bytes themselves only on a worker cache
+    miss, so a shard crosses the process boundary once per task instead of
+    once per round.  ``cache_key`` is the lookup key of the worker-side
+    ``_WORKER_SHARDS`` cache; the fingerprint component invalidates stale
+    entries whenever the shard's content changes (e.g. an in-between client
+    concatenating its previous task's data at a task boundary).
+    """
+
+    client_id: int
+    task_id: int
+    fingerprint: str
+    num_samples: int
+
+    @property
+    def cache_key(self) -> Tuple[int, int, str]:
+        return (self.client_id, self.task_id, self.fingerprint)
+
+
 @dataclass
 class ClientHandle:
     """Everything a method needs to run one client's local update for one round.
@@ -55,6 +78,24 @@ class ClientHandle:
     @property
     def num_samples(self) -> int:
         return len(self.dataset)
+
+    def shard_ref(self) -> ShardRef:
+        """Light identity of this handle's dataset for the shard-cache data plane."""
+        return ShardRef(
+            client_id=self.client_id,
+            task_id=self.task_id,
+            fingerprint=self.dataset.fingerprint(),
+            num_samples=len(self.dataset),
+        )
+
+    def lighten(self) -> "ClientHandle":
+        """A copy of this handle without its dataset payload.
+
+        The parallel executor ships light handles over IPC and workers rebind
+        the dataset from their shard cache before training; everything else
+        (rng, training config, group, metadata) still travels per round.
+        """
+        return replace(self, dataset=None)
 
     def loader(self, shuffle: bool = True) -> DataLoader:
         return DataLoader(
@@ -104,4 +145,4 @@ def run_local_sgd(
     return total_loss / max(total_batches, 1)
 
 
-__all__ = ["LocalTrainingConfig", "ClientHandle", "run_local_sgd"]
+__all__ = ["LocalTrainingConfig", "ShardRef", "ClientHandle", "run_local_sgd"]

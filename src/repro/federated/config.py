@@ -39,6 +39,15 @@ class FederatedConfig:
     num_workers:
         Worker processes for the parallel executor; ``0`` means one per CPU.
         Ignored when ``executor="serial"``.
+    shard_cache:
+        Whether the parallel executor's client data plane caches dataset
+        shards inside worker processes (default on).  With the cache, a
+        client's shard crosses the process boundary once per task — light
+        handles plus a shard fingerprint travel every round, shard bytes only
+        on a worker's first sight of a (client, task) pair.  ``False``
+        re-ships every selected shard every round (the pre-cache behaviour);
+        results are bit-for-bit identical either way.  Ignored when
+        ``executor="serial"``.
     dtype:
         Compute precision of the whole pipeline: ``"float64"`` (reference) or
         ``"float32"`` (≈2x lower memory bandwidth; accuracy differences are
@@ -54,6 +63,7 @@ class FederatedConfig:
     seed: int = 0
     executor: str = "serial"
     num_workers: int = 0
+    shard_cache: bool = True
     dtype: str = "float64"
 
     def __post_init__(self) -> None:

@@ -9,13 +9,40 @@ same global state.  This module turns that structure into a pluggable
   simulation's shared model instance, reproducing the historical
   single-process behaviour bit-for-bit (same client order, same RNG streams,
   same floating-point summation order).
-* :class:`ParallelExecutor` — fans the clients out over a
-  ``concurrent.futures.ProcessPoolExecutor``.  The round's broadcast is
-  serialized exactly once (via :meth:`BroadcastHandle.serialized`) and shipped
-  to at most ``num_workers`` chunk tasks — never once per client — and each
-  worker process trains on a cached per-process model replica.  Updates are
-  reassembled in the original selection order so FedAvg accumulates in the
-  same order as the serial path and results stay identical for a given seed.
+* :class:`ParallelExecutor` — fans the clients out over a pool of pinned
+  worker processes.  The round's broadcast is serialized exactly once (via
+  :meth:`BroadcastHandle.serialized`) and shipped to at most ``num_workers``
+  chunk tasks — never once per client — and each worker process trains on a
+  cached per-process model replica.  Updates are reassembled in the original
+  selection order so FedAvg accumulates in the same order as the serial path
+  and results stay identical for a given seed.
+
+The client data plane
+---------------------
+Client shards dominate per-round IPC yet only change at task boundaries, so
+the parallel executor ships them through a per-worker cache instead of
+re-pickling them every round:
+
+* handles cross the boundary *light* (:meth:`ClientHandle.lighten` plus a
+  :class:`~repro.federated.client.ShardRef`), and workers rebind the dataset
+  from the module-level ``_WORKER_SHARDS`` cache keyed by
+  ``(client_id, task_id, fingerprint)`` — mirroring ``_WORKER_REPLICAS``;
+* workers are *pinned*: each has a dedicated task queue
+  (:class:`_PinnedWorkerPool`), so the parent knows exactly which worker runs
+  which chunk and tracks every worker's shard inventory.  That inventory is
+  the cache-miss handshake — shard bytes are attached to a chunk only for
+  keys the receiving worker does not already hold, i.e. once per
+  (client, task) rather than once per round;
+* the fingerprint component of the key invalidates stale entries whenever a
+  shard's content changes — in-between clients concatenating their previous
+  task's shard produce a new fingerprint — and both sides evict entries from
+  other tasks when a round for a new task arrives, bounding worker memory to
+  one task's shards.
+
+Per-round accounting of everything shipped (method, broadcast, shard bytes,
+hits/misses) is appended to :attr:`ParallelExecutor.ipc_log` as
+:class:`RoundIPC` records; ``benchmarks/bench_round_parallel.py`` turns those
+into the ``round_ipc`` section of ``BENCH_round.json``.
 
 Both executors hand every client the *same* read-only broadcast state, so no
 per-client ``clone_state_dict`` happens anywhere on the hot path.
@@ -30,13 +57,16 @@ import multiprocessing
 import os
 import pickle
 import sys
-from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+import traceback
+from dataclasses import dataclass, replace
+from queue import Empty
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.autograd.tensor import get_default_dtype, set_default_dtype
-from repro.federated.client import ClientHandle
+from repro.datasets.base import ArrayDataset
+from repro.federated.client import ClientHandle, ShardRef
 from repro.federated.communication import ClientUpdate
 from repro.federated.method import FederatedMethod
 from repro.federated.server import BroadcastHandle
@@ -56,14 +86,33 @@ from repro.nn.serialization import (
 #: then only reloaded with fresh weights every round.
 _WORKER_REPLICAS: Dict[tuple, Module] = {}
 
+#: Per-worker-process cache of client dataset shards, keyed by
+#: ``ShardRef.cache_key`` = (client_id, task_id, fingerprint).  Entries are
+#: installed from the shard bytes the parent attaches on a cache miss and
+#: evicted when a chunk for a different task arrives (shards are immutable
+#: within a task, so nothing else can invalidate them mid-task).
+_WORKER_SHARDS: Dict[Tuple[int, int, str], ArrayDataset] = {}
+
+_ShardKey = Tuple[int, int, str]
+
 
 def _replica_key(method: FederatedMethod, state: Dict[str, np.ndarray]) -> tuple:
     # State shapes alone cannot distinguish architectures that differ in
     # non-shape knobs (e.g. attention head counts), so the method's config
-    # repr is folded into the key as a build fingerprint.
+    # repr is folded into the key as a build fingerprint.  The compute dtype
+    # is part of the key too: a long-lived worker that switches default dtype
+    # between simulations must not reuse a replica whose non-state buffers
+    # were built at the previous precision.
     signature = tuple((name, value.shape, str(value.dtype)) for name, value in state.items())
     fingerprint = repr(getattr(method, "config", None))
-    return (type(method).__module__, type(method).__qualname__, method.name, fingerprint, signature)
+    return (
+        type(method).__module__,
+        type(method).__qualname__,
+        method.name,
+        fingerprint,
+        get_default_dtype().name,
+        signature,
+    )
 
 
 def _replica_for(method: FederatedMethod, state: Dict[str, np.ndarray]) -> Module:
@@ -104,6 +153,192 @@ def _run_client_chunk(
         update = method.local_update(model, state, payload, client)
         results.append((index, update, method.export_client_state(client.client_id)))
     return results
+
+
+def _install_shards(shard_blobs: Dict[_ShardKey, bytes]) -> None:
+    """Unpack the shard payloads the parent attached for this worker's misses."""
+    for key, blob in shard_blobs.items():
+        _WORKER_SHARDS[key] = pickle.loads(blob)
+
+
+def _evict_stale_shards(task_id: int) -> None:
+    """Drop cached shards from other tasks (shards only change at task boundaries)."""
+    for key in [key for key in _WORKER_SHARDS if key[1] != task_id]:
+        del _WORKER_SHARDS[key]
+
+
+def _resolve_chunk(
+    items: Sequence[Tuple[int, ClientHandle, Optional[ShardRef]]],
+) -> List[Tuple[int, ClientHandle]]:
+    """Rebind each light handle's dataset from the worker shard cache."""
+    resolved: List[Tuple[int, ClientHandle]] = []
+    for index, client, ref in items:
+        if ref is not None:
+            shard = _WORKER_SHARDS.get(ref.cache_key)
+            if shard is None:
+                raise RuntimeError(
+                    f"worker shard cache miss for client {ref.client_id} "
+                    f"task {ref.task_id}: the parent's inventory claims this "
+                    "shard was already shipped to this worker — pinned-queue "
+                    "bookkeeping and worker eviction are out of sync"
+                )
+            if len(shard) != ref.num_samples:
+                raise RuntimeError(
+                    f"worker shard cache corruption for client {ref.client_id} "
+                    f"task {ref.task_id}: cached shard has {len(shard)} samples "
+                    f"but the handle expects {ref.num_samples}"
+                )
+            client = replace(client, dataset=shard)
+        resolved.append((index, client))
+    return resolved
+
+
+def _encode_error(exc: BaseException) -> Tuple[Optional[bytes], str]:
+    """Make a worker failure shippable: the exception if picklable, plus text."""
+    text = "".join(traceback.format_exception(type(exc), exc, exc.__traceback__))
+    try:
+        blob = pickle.dumps(exc, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        blob = None
+    return blob, text
+
+
+def _raise_worker_error(encoded: Tuple[Optional[bytes], str]) -> None:
+    blob, text = encoded
+    if blob is not None:
+        try:
+            exc = pickle.loads(blob)
+        except Exception:
+            exc = None
+        if isinstance(exc, BaseException):
+            # Re-raise with the original type (so callers can still catch it)
+            # but chain the worker-side traceback, which the parent-side stack
+            # cannot show.
+            raise exc from RuntimeError(f"worker traceback:\n{text}")
+    raise RuntimeError(f"worker process failed:\n{text}")
+
+
+def _worker_main(worker_id: int, task_queue, result_queue) -> None:
+    """Entry point of one pinned worker; loops until the ``None`` sentinel."""
+    while True:
+        message = task_queue.get()
+        if message is None:
+            return
+        method_blob, broadcast_blob, items, shard_blobs, dtype_name, task_id = message
+        try:
+            _install_shards(shard_blobs)
+            _evict_stale_shards(task_id)
+            results = _run_client_chunk(
+                method_blob, broadcast_blob, _resolve_chunk(items), dtype_name
+            )
+            result_queue.put((worker_id, "ok", results))
+        except BaseException as exc:  # ship the failure instead of dying silently
+            result_queue.put((worker_id, "error", _encode_error(exc)))
+
+
+class _PinnedWorkerPool:
+    """``num_workers`` long-lived processes, each with a dedicated task queue.
+
+    ``concurrent.futures.ProcessPoolExecutor`` hands tasks to whichever worker
+    grabs them first, so a parent can never know which process holds which
+    cached shard.  Pinning each worker to its own queue makes the worker-side
+    caches addressable: the parent decides which worker runs which chunk, so
+    it can mirror every worker's shard inventory exactly and attach shard
+    bytes only for genuine misses.
+    """
+
+    def __init__(self, num_workers: int, context) -> None:
+        self._result_queue = context.Queue()
+        self._task_queues = [context.Queue() for _ in range(num_workers)]
+        self._processes = [
+            context.Process(
+                target=_worker_main,
+                args=(worker_id, task_queue, self._result_queue),
+                daemon=True,
+            )
+            for worker_id, task_queue in enumerate(self._task_queues)
+        ]
+        for process in self._processes:
+            process.start()
+
+    def submit(self, worker_id: int, message: tuple) -> None:
+        self._task_queues[worker_id].put(message)
+
+    def collect(self, pending: Set[int]) -> List[tuple]:
+        """Gather one result per pending worker, failing fast if one dies.
+
+        Only the workers with an outstanding chunk are liveness-checked; an
+        idle worker dying (nothing submitted to it this round) must not abort
+        a round whose results are all coming from live workers.
+        """
+        pending = set(pending)
+        outcomes: List[tuple] = []
+        while pending:
+            try:
+                outcome = self._result_queue.get(timeout=1.0)
+            except Empty:
+                dead = sorted(
+                    worker_id
+                    for worker_id in pending
+                    if not self._processes[worker_id].is_alive()
+                )
+                if dead:
+                    codes = [self._processes[worker_id].exitcode for worker_id in dead]
+                    raise RuntimeError(
+                        f"worker process(es) {dead} died without reporting a result "
+                        f"(exit codes {codes})"
+                    )
+                continue
+            outcomes.append(outcome)
+            pending.discard(outcome[0])
+        return outcomes
+
+    def close(self) -> None:
+        for task_queue in self._task_queues:
+            try:
+                task_queue.put(None)
+            except Exception:
+                pass
+        for process in self._processes:
+            process.join(timeout=5.0)
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+        for queue in self._task_queues + [self._result_queue]:
+            queue.close()
+            queue.cancel_join_thread()
+
+    def terminate(self) -> None:
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+
+
+def _assign_clients_to_workers(
+    indexed: Sequence[Tuple[int, ClientHandle]], num_workers: int
+) -> List[List[Tuple[int, ClientHandle]]]:
+    """Deterministic client→worker assignment: stable first, then balanced.
+
+    A client's home worker is ``client_id % num_workers``, so its cached
+    shard is found again every round of a task; overfull homes then spill
+    their excess onto the least-loaded workers so a round's wall clock stays
+    one chunk deep.  Spilled clients may pay an extra shard shipment on the
+    recipient worker — correctness never depends on where a chunk runs, only
+    the IPC volume does.
+    """
+    buckets: List[List[Tuple[int, ClientHandle]]] = [[] for _ in range(num_workers)]
+    for item in indexed:
+        buckets[item[1].client_id % num_workers].append(item)
+    target = -(-len(indexed) // num_workers)  # ceil
+    overflow: List[Tuple[int, ClientHandle]] = []
+    for bucket in buckets:
+        while len(bucket) > target:
+            overflow.append(bucket.pop())
+    for item in overflow:
+        recipient = min(range(num_workers), key=lambda w: (len(buckets[w]), w))
+        buckets[recipient].append(item)
+    return buckets
 
 
 # --------------------------------------------------------------------------- #
@@ -153,21 +388,52 @@ class SerialExecutor(Executor):
         return updates
 
 
+@dataclass(frozen=True)
+class RoundIPC:
+    """What one completed parallel round shipped to its workers.
+
+    ``method_bytes`` and ``broadcast_bytes`` count the blob size times the
+    number of worker messages that embedded it (each pinned queue copies the
+    shared bytes), so all three byte fields are comparable measures of actual
+    cross-process traffic.  Failed rounds are not logged.
+    """
+
+    task_id: int
+    num_clients: int
+    method_bytes: int
+    broadcast_bytes: int
+    shard_bytes: int
+    shards_shipped: int
+    cache_hits: int
+
+
 class ParallelExecutor(Executor):
-    """Process-pool execution with a single-serialization broadcast.
+    """Pinned-worker-pool execution with a single-serialization broadcast and a
+    per-worker shard cache (the client data plane; see the module docstring).
 
     ``num_workers`` defaults to the machine's CPU count.  The pool is created
     lazily on the first round and reused across rounds and tasks; call
     :meth:`close` (or use the executor as a context manager) to tear it down.
     Worker processes inherit the parent's compute dtype so float32 runs stay
     float32 inside the workers.
+
+    ``shard_cache=True`` (the default) ships each client's dataset only when
+    the receiving worker does not already hold it — once per (client, task)
+    instead of once per round.  ``shard_cache=False`` keeps the light-handle
+    protocol but treats every round as a miss, re-shipping every selected
+    shard (the pre-cache behaviour, kept as a fallback and as the bench
+    baseline).  Either way :attr:`ipc_log` records one :class:`RoundIPC`
+    entry per round.
     """
 
-    def __init__(self, num_workers: Optional[int] = None) -> None:
+    def __init__(self, num_workers: Optional[int] = None, shard_cache: bool = True) -> None:
         self.num_workers = max(1, num_workers if num_workers else (os.cpu_count() or 1))
-        self._pool: Optional[ProcessPoolExecutor] = None
+        self.shard_cache = shard_cache
+        self.ipc_log: List[RoundIPC] = []
+        self._pool: Optional[_PinnedWorkerPool] = None
+        self._inventories: List[Set[_ShardKey]] = []
 
-    def _ensure_pool(self) -> ProcessPoolExecutor:
+    def _ensure_pool(self) -> _PinnedWorkerPool:
         if self._pool is None:
             # Prefer cheap fork workers only on Linux; macOS forks are unsafe
             # with live BLAS/Objective-C threads (hence its spawn default),
@@ -177,7 +443,8 @@ class ParallelExecutor(Executor):
                 context = multiprocessing.get_context("fork")
             else:
                 context = multiprocessing.get_context()
-            self._pool = ProcessPoolExecutor(max_workers=self.num_workers, mp_context=context)
+            self._pool = _PinnedWorkerPool(self.num_workers, context)
+            self._inventories = [set() for _ in range(self.num_workers)]
         return self._pool
 
     def run_round(
@@ -187,20 +454,91 @@ class ParallelExecutor(Executor):
         broadcast: BroadcastHandle,
         clients: Sequence[ClientHandle],
     ) -> List[ClientUpdate]:
+        if not clients:
+            return []
+        task_ids = {client.task_id for client in clients}
+        if len(task_ids) > 1:
+            # Task-boundary eviction (parent and worker) keys on the round's
+            # single task id; a mixed round would evict freshly installed
+            # shards mid-chunk.
+            raise ValueError(
+                f"a round's clients must share one task_id, got {sorted(task_ids)}"
+            )
         pool = self._ensure_pool()
         method_blob = pickle.dumps(method, protocol=pickle.HIGHEST_PROTOCOL)
         broadcast_blob = broadcast.serialized()
         dtype_name = get_default_dtype().name
+        task_id = clients[0].task_id
         indexed = list(enumerate(clients))
-        num_chunks = min(self.num_workers, len(indexed))
-        chunks = [indexed[i::num_chunks] for i in range(num_chunks)]
-        futures = [
-            pool.submit(_run_client_chunk, method_blob, broadcast_blob, chunk, dtype_name)
-            for chunk in chunks
-        ]
+        buckets = _assign_clients_to_workers(indexed, self.num_workers)
+        shard_bytes = shards_shipped = cache_hits = 0
+        # Build every chunk message before submitting anything, and tear the
+        # pool down on any failure in the build/submit/collect path: a
+        # partially-submitted round would leave results in flight for the
+        # next round's collect to mis-consume, and a partially-updated
+        # inventory would desynchronise from workers that never received
+        # their chunk.  close() clears both.
+        try:
+            messages: List[Tuple[int, tuple]] = []
+            for worker_id, bucket in enumerate(buckets):
+                if not bucket:
+                    continue
+                # Mirror the worker's task-boundary eviction exactly: the
+                # worker drops other-task entries when this chunk arrives, so
+                # the parent must forget them at the same moment (and only
+                # for workers that actually receive a chunk).
+                inventory = {key for key in self._inventories[worker_id] if key[1] == task_id}
+                self._inventories[worker_id] = inventory
+                items: List[Tuple[int, ClientHandle, ShardRef]] = []
+                shard_blobs: Dict[_ShardKey, bytes] = {}
+                for index, client in bucket:
+                    ref = client.shard_ref()
+                    key = ref.cache_key
+                    if self.shard_cache and key in inventory:
+                        cache_hits += 1
+                    elif key not in shard_blobs:
+                        blob = pickle.dumps(client.dataset, protocol=pickle.HIGHEST_PROTOCOL)
+                        shard_blobs[key] = blob
+                        shard_bytes += len(blob)
+                        shards_shipped += 1
+                        if self.shard_cache:
+                            inventory.add(key)
+                    items.append((index, client.lighten(), ref))
+                messages.append(
+                    (worker_id, (method_blob, broadcast_blob, items, shard_blobs, dtype_name, task_id))
+                )
+            for worker_id, message in messages:
+                pool.submit(worker_id, message)
+            outcomes = pool.collect({worker_id for worker_id, _ in messages})
+        except Exception:
+            self.close()
+            raise
         gathered: List[Tuple[int, ClientUpdate, Any]] = []
-        for future in futures:
-            gathered.extend(future.result())
+        failure: Optional[Tuple[Optional[bytes], str]] = None
+        for worker_id, status, payload in outcomes:
+            if status == "error":
+                failure = failure if failure is not None else payload
+                # The worker may have failed mid-install, so its shard cache
+                # is in an unknown state; forget its inventory and re-ship
+                # everything on its next chunk (re-installs are idempotent).
+                self._inventories[worker_id].clear()
+            else:
+                gathered.extend(payload)
+        if failure is not None:
+            # All chunks were already collected above, so the queues are clean
+            # and the pool stays reusable after the exception propagates.
+            _raise_worker_error(failure)
+        self.ipc_log.append(
+            RoundIPC(
+                task_id=task_id,
+                num_clients=len(indexed),
+                method_bytes=len(method_blob) * len(messages),
+                broadcast_bytes=len(broadcast_blob) * len(messages),
+                shard_bytes=shard_bytes,
+                shards_shipped=shards_shipped,
+                cache_hits=cache_hits,
+            )
+        )
         gathered.sort(key=lambda item: item[0])
         updates: List[ClientUpdate] = []
         for _, update, exported in gathered:
@@ -211,27 +549,34 @@ class ParallelExecutor(Executor):
 
     def close(self) -> None:
         if self._pool is not None:
-            # cancel_futures: when a run dies mid-round, don't block the
-            # propagating exception on queued chunks that haven't started.
-            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool.close()
             self._pool = None
+            self._inventories = []
 
     def __del__(self) -> None:  # pragma: no cover - best-effort cleanup
         try:
             if self._pool is not None:
-                self._pool.shutdown(wait=False, cancel_futures=True)
+                self._pool.terminate()
                 self._pool = None
         except Exception:
             pass
 
 
-def build_executor(executor: str = "serial", num_workers: int = 0) -> Executor:
+def build_executor(
+    executor: str = "serial", num_workers: int = 0, shard_cache: bool = True
+) -> Executor:
     """Construct an executor from the :class:`FederatedConfig` knobs."""
     if executor == "serial":
         return SerialExecutor()
     if executor == "parallel":
-        return ParallelExecutor(num_workers)
+        return ParallelExecutor(num_workers, shard_cache=shard_cache)
     raise ValueError(f"unknown executor {executor!r}; choose 'serial' or 'parallel'")
 
 
-__all__ = ["Executor", "SerialExecutor", "ParallelExecutor", "build_executor"]
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "RoundIPC",
+    "build_executor",
+]

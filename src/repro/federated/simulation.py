@@ -94,7 +94,7 @@ class FederatedDomainIncrementalSimulation:
             self.model = method.build_model()
         self.server = FederatedServer(self.model)
         self.schedule = ClientIncrementSchedule(config.increment)
-        self.executor = build_executor(config.executor, config.num_workers)
+        self.executor = build_executor(config.executor, config.num_workers, config.shard_cache)
         self.evaluator = GlobalEvaluator(
             scenario,
             batch_size=config.eval_batch_size,
@@ -146,6 +146,16 @@ class FederatedDomainIncrementalSimulation:
                     # A client that never received data (can happen with very
                     # small initial populations); give it an empty marker.
                     continue
+        if self.config.executor == "parallel" and self.config.shard_cache:
+            # Pay the shard-fingerprint hash at the task boundary (once per
+            # shard) instead of inside the first round's critical path.  The
+            # concatenated in-between shards built above are new arrays with
+            # new fingerprints — exactly what invalidates workers' cached
+            # entries from the previous task at the next round's handshake.
+            for client_id in assignment.active_clients:
+                dataset = self._training_data.get(client_id)
+                if dataset is not None and len(dataset) > 0:
+                    dataset.fingerprint()
 
     # ------------------------------------------------------------------ #
     # Round loop

@@ -114,6 +114,16 @@ class TestScenario:
         seen = scenario.seen_tests(2)
         assert [t.task_id for t in seen] == [0, 1, 2]
 
+    def test_seen_tests_rejects_out_of_range_ids(self, tiny_spec):
+        """Out-of-range ids must raise like task() does, not silently clamp —
+        a clamped suite evaluates the wrong tasks without any signal."""
+        scenario = DomainIncrementalScenario(SyntheticDomainDataset(tiny_spec), num_tasks=2)
+        assert [t.task_id for t in scenario.seen_tests(1)] == [0, 1]
+        with pytest.raises(IndexError):
+            scenario.seen_tests(2)
+        with pytest.raises(IndexError):
+            scenario.seen_tests(-1)
+
 
 class _ConstantModel(Module):
     """Predicts a fixed class for every input; lets accuracy be computed analytically."""

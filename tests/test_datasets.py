@@ -45,6 +45,29 @@ class TestArrayDataset:
         with pytest.raises(ValueError):
             ArrayDataset.concatenate(())
 
+    def test_fingerprint_is_content_addressed(self):
+        """Equal contents share a fingerprint (across instances), any content
+        change — images, labels, or a task-boundary concatenation — gets a
+        new one; this keys the parallel executor's shard cache."""
+        images = np.random.default_rng(0).random((6, 3, 4, 4))
+        labels = np.array([0, 1, 2, 0, 1, 2])
+        data = ArrayDataset(images, labels)
+        twin = ArrayDataset(images.copy(), labels.copy())
+        assert data.fingerprint() == twin.fingerprint()
+        assert data.fingerprint() is data.fingerprint()  # cached
+        assert data.subset(np.array([0, 1])).fingerprint() != data.fingerprint()
+        relabeled = ArrayDataset(images, np.array([1, 1, 2, 0, 1, 2]))
+        assert relabeled.fingerprint() != data.fingerprint()
+        grown = ArrayDataset.concatenate((data, data.subset(np.array([0]))))
+        assert grown.fingerprint() != data.fingerprint()
+
+    def test_fingerprint_distinguishes_dtype(self):
+        images = np.zeros((2, 3, 4, 4))
+        labels = np.zeros(2, dtype=np.int64)
+        wide = ArrayDataset(images, labels, dtype=np.float64)
+        narrow = ArrayDataset(images, labels, dtype=np.float32)
+        assert wide.fingerprint() != narrow.fingerprint()
+
 
 class TestSpec:
     def test_registered_specs_match_paper_structure(self):

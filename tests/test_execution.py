@@ -121,6 +121,178 @@ class TestBroadcastHandle:
             value[...] = 0.0  # writable
 
 
+class TestReplicaCache:
+    def test_replica_key_distinguishes_compute_dtype(self, tiny_backbone_config):
+        """Regression: a long-lived worker pool must not reuse a float64
+        replica (stale-precision buffers) after set_default_dtype("float32")
+        — the compute dtype is part of the cache key."""
+        from repro.federated.execution import _replica_key
+
+        method = build_method("finetune", tiny_backbone_config, num_tasks=1)
+        state = method.build_model().state_dict()
+        with default_dtype("float64"):
+            key64 = _replica_key(method, state)
+        with default_dtype("float32"):
+            key32 = _replica_key(method, state)
+        assert key64 != key32
+        assert "float64" in key64 and "float32" in key32
+
+    def test_replica_for_builds_one_replica_per_dtype(self, tiny_backbone_config):
+        from repro.federated.execution import _WORKER_REPLICAS, _replica_for
+
+        method = build_method("finetune", tiny_backbone_config, num_tasks=1)
+        state = method.build_model().state_dict()
+        before = dict(_WORKER_REPLICAS)
+        try:
+            _WORKER_REPLICAS.clear()
+            with default_dtype("float64"):
+                wide = _replica_for(method, state)
+                assert _replica_for(method, state) is wide  # cached
+            with default_dtype("float32"):
+                narrow = _replica_for(method, state)
+            assert narrow is not wide
+            assert len(_WORKER_REPLICAS) == 2
+        finally:
+            _WORKER_REPLICAS.clear()
+            _WORKER_REPLICAS.update(before)
+
+
+class TestShardCache:
+    def _handles(self, datasets, task_id, round_index=0):
+        return [
+            ClientHandle(
+                client_id=client_id,
+                task_id=task_id,
+                group=ClientGroup.NEW,
+                dataset=dataset,
+                rng=np.random.default_rng(100 * task_id + 10 * round_index + client_id),
+                training=LocalTrainingConfig(local_epochs=1, batch_size=8, learning_rate=0.05),
+            )
+            for client_id, dataset in enumerate(datasets)
+        ]
+
+    def test_worker_cache_install_resolve_evict(self, tiny_spec):
+        """Unit test of the worker-side cache primitives (run in-process)."""
+        from repro.federated.execution import (
+            _WORKER_SHARDS,
+            _evict_stale_shards,
+            _install_shards,
+            _resolve_chunk,
+        )
+
+        dataset = SyntheticDomainDataset(tiny_spec).domain_split(0, "train")
+        [handle] = self._handles([dataset], task_id=0)
+        ref = handle.shard_ref()
+        before = dict(_WORKER_SHARDS)
+        try:
+            _WORKER_SHARDS.clear()
+            _install_shards({ref.cache_key: pickle.dumps(dataset)})
+            [(index, resolved)] = _resolve_chunk([(4, handle.lighten(), ref)])
+            assert index == 4
+            assert np.array_equal(resolved.dataset.labels, dataset.labels)
+            _evict_stale_shards(task_id=0)  # same task: entry survives
+            assert ref.cache_key in _WORKER_SHARDS
+            _evict_stale_shards(task_id=1)  # task boundary: entry dropped
+            assert not _WORKER_SHARDS
+            with pytest.raises(RuntimeError, match="cache miss"):
+                _resolve_chunk([(0, handle.lighten(), ref)])
+        finally:
+            _WORKER_SHARDS.clear()
+            _WORKER_SHARDS.update(before)
+
+    def test_shard_ships_once_per_task_and_invalidates_on_new_fingerprint(
+        self, tiny_spec, tiny_backbone_config
+    ):
+        """Driving the executor directly with stable client ids: round 2 of a
+        task ships zero shard bytes (pure cache hits) and a task boundary —
+        new task id, concatenated data, new fingerprint — re-ships."""
+        method = build_method("finetune", tiny_backbone_config, num_tasks=2)
+        server = FederatedServer(method.build_model())
+        source = SyntheticDomainDataset(tiny_spec)
+        task0 = [source.domain_split(0, "train").subset(np.arange(s, s + 8)) for s in (0, 8)]
+        task1 = [source.domain_split(1, "train").subset(np.arange(s, s + 8)) for s in (0, 8)]
+        with ParallelExecutor(num_workers=2) as executor:
+            model = method.build_model()
+            for round_index in range(2):
+                executor.run_round(
+                    method, model, server.broadcast_view(),
+                    self._handles(task0, task_id=0, round_index=round_index),
+                )
+            for round_index in range(2):
+                executor.run_round(
+                    method, model, server.broadcast_view(),
+                    self._handles(task1, task_id=1, round_index=round_index),
+                )
+            first, hit, boundary, hit_again = executor.ipc_log
+        assert first.shard_bytes > 0 and first.shards_shipped == 2
+        assert hit.shard_bytes == 0 and hit.cache_hits == 2
+        assert boundary.shard_bytes > 0 and boundary.shards_shipped == 2
+        assert hit_again.shard_bytes == 0 and hit_again.cache_hits == 2
+
+    def test_mixed_task_round_is_rejected(self, tiny_spec, tiny_backbone_config):
+        """Task-boundary eviction keys on the round's single task id, so a
+        round mixing tasks must fail loudly at entry, not corrupt the cache."""
+        method = build_method("finetune", tiny_backbone_config, num_tasks=2)
+        server = FederatedServer(method.build_model())
+        dataset = SyntheticDomainDataset(tiny_spec).domain_split(0, "train")
+        [h0] = self._handles([dataset], task_id=0)
+        [h1] = self._handles([dataset], task_id=1)
+        h1.client_id = 1
+        with ParallelExecutor(num_workers=2) as executor:
+            with pytest.raises(ValueError, match="share one task_id"):
+                executor.run_round(method, method.build_model(), server.broadcast_view(), [h0, h1])
+
+    def test_cache_disabled_ships_every_round(self, tiny_spec, tiny_backbone_config):
+        method = build_method("finetune", tiny_backbone_config, num_tasks=1)
+        server = FederatedServer(method.build_model())
+        datasets = [
+            SyntheticDomainDataset(tiny_spec).domain_split(0, "train").subset(np.arange(s, s + 8))
+            for s in (0, 8)
+        ]
+        with ParallelExecutor(num_workers=2, shard_cache=False) as executor:
+            model = method.build_model()
+            for round_index in range(2):
+                executor.run_round(
+                    method, model, server.broadcast_view(),
+                    self._handles(datasets, task_id=0, round_index=round_index),
+                )
+        assert all(ipc.shard_bytes > 0 and ipc.cache_hits == 0 for ipc in executor.ipc_log)
+
+    def test_multi_task_simulation_parity_with_cache_hits(
+        self, tiny_spec, tiny_backbone_config, tiny_federated_config
+    ):
+        """Serial vs parallel over 2 tasks x 2 rounds: the cached run must be
+        bit-for-bit identical while actually exercising hits (rounds after
+        the first of a task) and invalidations (in-between clients concat)."""
+        config = replace(tiny_federated_config, rounds_per_task=2)
+        scenario = DomainIncrementalScenario(SyntheticDomainDataset(tiny_spec), num_tasks=2)
+        method = build_method("refil", tiny_backbone_config, num_tasks=scenario.num_tasks)
+        serial = FederatedDomainIncrementalSimulation(scenario, method, config).run()
+
+        scenario = DomainIncrementalScenario(SyntheticDomainDataset(tiny_spec), num_tasks=2)
+        method = build_method("refil", tiny_backbone_config, num_tasks=scenario.num_tasks)
+        sim = FederatedDomainIncrementalSimulation(
+            scenario, method, replace(config, executor="parallel", num_workers=2)
+        )
+        parallel = sim.run()
+        np.testing.assert_array_equal(serial.metrics.matrix, parallel.metrics.matrix)
+        assert serial.round_losses == parallel.round_losses
+        log = sim.executor.ipc_log
+        assert len(log) == 4  # 2 tasks x 2 rounds
+        assert sum(ipc.cache_hits for ipc in log) > 0
+        assert log[2].task_id == 1 and log[2].shards_shipped > 0  # invalidated at boundary
+
+    def test_shard_cache_config_knob(self, tiny_spec, tiny_backbone_config, tiny_federated_config):
+        config = replace(
+            tiny_federated_config, executor="parallel", num_workers=2, shard_cache=False
+        )
+        assert isinstance(build_executor(config.executor, config.num_workers, config.shard_cache), ParallelExecutor)
+        off = _run_simulation(tiny_spec, tiny_backbone_config, config)
+        on = _run_simulation(tiny_spec, tiny_backbone_config, replace(config, shard_cache=True))
+        np.testing.assert_array_equal(off.metrics.matrix, on.metrics.matrix)
+        assert off.round_losses == on.round_losses
+
+
 class _StateMutatingMethod:
     """A contract-violating method that writes to the shared broadcast state.
 

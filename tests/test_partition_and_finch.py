@@ -69,6 +69,86 @@ class TestQuantityShiftPartition:
         assert np.array_equal(merged, np.arange(len(labels)))
         assert all(len(p) >= 2 for p in parts)
 
+    @given(
+        num_clients=st.integers(2, 8),
+        concentration=st.floats(0.05, 3.0),
+        min_per_client=st.integers(2, 6),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_every_client_holds_every_class(
+        self, num_clients, concentration, min_per_client, seed
+    ):
+        """The FDIL partition invariant (paper Sec. II): quantity shift skews
+        volumes, never class coverage — every client gets >= 1 sample of every
+        class whenever each class has at least num_clients samples, even at
+        extreme concentrations that starve clients before rebalancing."""
+        num_classes = 3
+        per_class = num_clients * min_per_client  # feasible for both invariants
+        labels = _labels(num_classes, per_class)
+        parts = quantity_shift_partition(
+            labels,
+            num_clients,
+            np.random.default_rng(seed),
+            concentration=concentration,
+            min_per_client=min_per_client,
+        )
+        merged = np.sort(np.concatenate(parts))
+        assert np.array_equal(merged, np.arange(len(labels)))
+        for part in parts:
+            assert len(part) >= min_per_client
+            assert set(np.unique(labels[part])) == set(range(num_classes))
+
+    def test_rebalancing_steals_across_donor_classes(self):
+        """Regression: the rebalancer used to pop the donor's tail, so a
+        starved client received only the highest class label and the donor
+        could lose a whole class.  Stealing now rotates across the donor's
+        classes, preserving full class coverage on both sides."""
+        num_classes, num_clients = 4, 10
+        labels = _labels(num_classes, 20)
+        for seed in range(20):
+            parts = quantity_shift_partition(
+                labels,
+                num_clients,
+                np.random.default_rng(seed),
+                concentration=0.05,  # extreme shift: rebalancing must kick in
+                min_per_client=num_classes,
+            )
+            for part in parts:
+                assert set(np.unique(labels[part])) == set(range(num_classes))
+
+    def test_rebalancing_spares_covered_classes_over_singletons(self):
+        """Regression: when a donor's surplus is all last-of-class samples,
+        stealing must take invariant-exempt singletons (classes with fewer
+        samples than clients) before a covered class's last sample — else the
+        donor loses coverage of a class every client is guaranteed to hold."""
+        covered = np.zeros(3, dtype=np.int64)  # class 0: 3 samples = num_clients
+        singletons = np.arange(1, 10, dtype=np.int64)  # 9 single-sample classes
+        labels = np.concatenate([covered, singletons])
+        for seed in range(50):
+            parts = quantity_shift_partition(
+                labels, 3, np.random.default_rng(seed), concentration=0.05, min_per_client=4
+            )
+            assert [len(p) for p in parts] == [4, 4, 4]
+            for part in parts:
+                assert 0 in labels[part]  # every client keeps the covered class
+
+    def test_single_class_rebalancing_reaches_minimum(self):
+        """With one class the coverage rule cannot bind; stealing must still
+        top every client up to the minimum."""
+        labels = np.zeros(12, dtype=np.int64)
+        for seed in range(10):
+            parts = quantity_shift_partition(
+                labels, 3, np.random.default_rng(seed), concentration=0.05, min_per_client=4
+            )
+            assert [len(p) for p in parts] == [4, 4, 4]
+
+    def test_infeasible_minimum_raises(self):
+        with pytest.raises(ValueError, match="cannot give"):
+            quantity_shift_partition(
+                _labels(2, 3), 4, np.random.default_rng(0), min_per_client=2
+            )
+
     def test_partition_domain_across_clients(self):
         data = ArrayDataset(np.zeros((40, 3, 4, 4)), _labels(4, 10))
         shards = partition_domain_across_clients(data, [3, 7, 9], np.random.default_rng(0))
