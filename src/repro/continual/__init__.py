@@ -2,13 +2,22 @@
 
 from repro.continual.scenario import DomainIncrementalScenario, Task
 from repro.continual.metrics import AccuracyMatrix, ContinualMetrics
-from repro.continual.evaluator import evaluate_accuracy, GlobalEvaluator
+from repro.continual.evaluator import (
+    EvalBackend,
+    GlobalEvaluator,
+    SerialEvalBackend,
+    count_correct,
+    evaluate_accuracy,
+)
 
 __all__ = [
     "DomainIncrementalScenario",
     "Task",
     "AccuracyMatrix",
     "ContinualMetrics",
+    "count_correct",
     "evaluate_accuracy",
+    "EvalBackend",
+    "SerialEvalBackend",
     "GlobalEvaluator",
 ]

@@ -1,8 +1,26 @@
-"""Model evaluation over task streams."""
+"""Model evaluation over task streams.
+
+The paper's protocol (Sec. V-A) evaluates the global model on *every* seen
+domain after each learning step, which makes evaluation an O(T²) workload over
+a run — and O(T·R) once mid-task evaluation is enabled.  The scoring loop is
+therefore split into composable pieces:
+
+* :func:`count_correct` — the single-dataset forward pass, returning the
+  *integer* number of correct predictions.  Integer counts are the unit of
+  work of the parallel evaluation plane: counts computed over batch-aligned
+  slices of a test set sum to exactly the count over the whole set, so a
+  fanned-out evaluation reproduces the serial accuracy bit-for-bit.
+* :class:`EvalBackend` — the strategy for scoring a suite of (task, test set)
+  pairs.  :class:`SerialEvalBackend` loops in-process (the historical
+  behaviour); :class:`repro.federated.execution.ParallelEvalBackend` fans the
+  suite over the round engine's pinned worker pool.
+* :class:`GlobalEvaluator` — owns the accuracy matrix and dtype conversion and
+  delegates the actual scoring to its backend.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -12,47 +30,117 @@ from repro.continual.scenario import DomainIncrementalScenario, Task
 from repro.datasets.base import ArrayDataset, DataLoader
 from repro.nn.module import Module
 
+PredictFn = Callable[[Module, Tensor], Tensor]
+
+
+def count_correct(
+    model: Module,
+    dataset: ArrayDataset,
+    batch_size: int = 64,
+    predict_fn: Optional[PredictFn] = None,
+) -> int:
+    """Number of top-1 correct predictions of ``model`` on ``dataset``.
+
+    ``predict_fn`` lets prompt-based methods inject their inference-time
+    prompts; the default simply calls the model on the images.
+
+    The model is put in eval mode for the forward passes and every submodule
+    is restored to the exact mode it arrived in — callers that hold the whole
+    model (or just a frozen submodule) in eval mode must not get dropout
+    silently re-enabled behind their back.
+    """
+    if len(dataset) == 0:
+        raise ValueError("cannot evaluate on an empty dataset")
+    # Snapshot per-module flags rather than the root's alone: restoring via a
+    # recursive model.train(root_mode) would flatten a submodule deliberately
+    # held in a different mode (e.g. a frozen backbone kept in eval during
+    # fine-tuning).
+    modes = [(module, module.training) for _, module in model.named_modules()]
+    model.eval()
+    correct = 0
+    loader = DataLoader(dataset, batch_size=batch_size, shuffle=False)
+    try:
+        with no_grad():
+            for images, labels in loader:
+                logits = predict_fn(model, images) if predict_fn is not None else model(images)
+                predictions = logits.data.argmax(axis=-1)
+                correct += int((predictions == labels).sum())
+    finally:
+        for module, mode in modes:
+            module.training = mode
+    return correct
+
 
 def evaluate_accuracy(
     model: Module,
     dataset: ArrayDataset,
     batch_size: int = 64,
-    predict_fn: Optional[Callable[[Module, Tensor], Tensor]] = None,
+    predict_fn: Optional[PredictFn] = None,
 ) -> float:
-    """Top-1 accuracy of ``model`` on ``dataset``.
+    """Top-1 accuracy of ``model`` on ``dataset`` (see :func:`count_correct`)."""
+    return count_correct(model, dataset, batch_size=batch_size, predict_fn=predict_fn) / len(
+        dataset
+    )
 
-    ``predict_fn`` lets prompt-based methods inject their inference-time
-    prompts; the default simply calls the model on the images.
+
+class EvalBackend:
+    """Strategy for scoring the global model on a suite of test sets.
+
+    ``pairs`` is a sequence of ``(task, dataset)`` where ``dataset`` is the
+    task's test set already converted to the active compute dtype; the return
+    value is one accuracy per pair, in order.  Every backend must produce the
+    same numbers bit-for-bit: the backend choice is a performance knob, never
+    a results knob.
     """
-    if len(dataset) == 0:
-        raise ValueError("cannot evaluate on an empty dataset")
-    model.eval()
-    correct = 0
-    loader = DataLoader(dataset, batch_size=batch_size, shuffle=False)
-    with no_grad():
-        for images, labels in loader:
-            logits = predict_fn(model, images) if predict_fn is not None else model(images)
-            predictions = logits.data.argmax(axis=-1)
-            correct += int((predictions == labels).sum())
-    model.train()
-    return correct / len(dataset)
+
+    def evaluate(
+        self,
+        model: Module,
+        pairs: Sequence[Tuple[Task, ArrayDataset]],
+        batch_size: int,
+        predict_fn: Optional[PredictFn] = None,
+    ) -> List[float]:
+        raise NotImplementedError
+
+
+class SerialEvalBackend(EvalBackend):
+    """In-process sequential scoring — the historical single-threaded path."""
+
+    def evaluate(
+        self,
+        model: Module,
+        pairs: Sequence[Tuple[Task, ArrayDataset]],
+        batch_size: int,
+        predict_fn: Optional[PredictFn] = None,
+    ) -> List[float]:
+        return [
+            evaluate_accuracy(model, dataset, batch_size=batch_size, predict_fn=predict_fn)
+            for _, dataset in pairs
+        ]
 
 
 class GlobalEvaluator:
-    """Tracks the global model's accuracy matrix over a continual scenario."""
+    """Tracks the global model's accuracy matrix over a continual scenario.
+
+    Scoring is delegated to ``backend`` (default: :class:`SerialEvalBackend`);
+    see :class:`repro.federated.execution.ParallelEvalBackend` for the fanned
+    variant riding the round engine's worker pool.
+    """
 
     def __init__(
         self,
         scenario: DomainIncrementalScenario,
         batch_size: int = 64,
-        predict_fn: Optional[Callable[[Module, Tensor], Tensor]] = None,
+        predict_fn: Optional[PredictFn] = None,
+        backend: Optional[EvalBackend] = None,
     ) -> None:
         self.scenario = scenario
         self.batch_size = batch_size
         self.predict_fn = predict_fn
+        self.backend = backend if backend is not None else SerialEvalBackend()
         self.accuracy_matrix = AccuracyMatrix(scenario.num_tasks)
         self.per_task_history: List[Dict[str, float]] = []
-        self._converted_tests: Dict[str, ArrayDataset] = {}
+        self._converted_tests: Dict[Tuple[int, str], ArrayDataset] = {}
 
     def _test_set(self, seen: Task) -> ArrayDataset:
         """The task's test set in the active compute dtype, converted at most once.
@@ -60,15 +148,35 @@ class GlobalEvaluator:
         Scenarios are built before (and shared across) simulations, so their
         arrays may not match the run's ``dtype`` knob; converting per task
         here keeps the evaluation path at the compute precision instead of
-        re-casting every batch.
+        re-casting every batch.  The cache holds one dtype at a time: a dtype
+        switch evicts the other precision's conversions (mirroring the worker
+        shard cache's other-task eviction), so an evaluator reused across
+        differently-typed runs is bounded by one copy of the test suite.
         """
         dtype = get_default_dtype()
         if seen.test.images.dtype == dtype:
             return seen.test
-        key = f"{seen.task_id}/{dtype.name}"
+        key = (seen.task_id, dtype.name)
         if key not in self._converted_tests:
+            for stale in [k for k in self._converted_tests if k[1] != dtype.name]:
+                del self._converted_tests[stale]
             self._converted_tests[key] = seen.test.astype(dtype)
         return self._converted_tests[key]
+
+    def _evaluate(self, model: Module, task_id: int) -> List[Tuple[Task, float]]:
+        seen = self.scenario.seen_tests(task_id)
+        pairs = [(task, self._test_set(task)) for task in seen]
+        accuracies = self.backend.evaluate(model, pairs, self.batch_size, self.predict_fn)
+        return list(zip(seen, accuracies))
+
+    def evaluate_seen(self, model: Module, task_id: int) -> Dict[str, float]:
+        """Score every seen task's test set without recording anything.
+
+        This is the mid-task (``eval_every``) entry point: the accuracy matrix
+        only admits one entry per (after_task, evaluated_task) pair, so
+        intra-task snapshots are returned to the caller instead of recorded.
+        """
+        return {task.domain_name: accuracy for task, accuracy in self._evaluate(model, task_id)}
 
     def evaluate_after_task(self, model: Module, task_id: int) -> Dict[str, float]:
         """Evaluate on every seen task's test set and record the results.
@@ -76,12 +184,9 @@ class GlobalEvaluator:
         Returns a mapping from domain name to accuracy for logging.
         """
         results: Dict[str, float] = {}
-        for seen in self.scenario.seen_tests(task_id):
-            accuracy = evaluate_accuracy(
-                model, self._test_set(seen), batch_size=self.batch_size, predict_fn=self.predict_fn
-            )
-            self.accuracy_matrix.record(task_id, seen.task_id, accuracy)
-            results[seen.domain_name] = accuracy
+        for task, accuracy in self._evaluate(model, task_id):
+            self.accuracy_matrix.record(task_id, task.task_id, accuracy)
+            results[task.domain_name] = accuracy
         self.per_task_history.append(results)
         return results
 
@@ -89,4 +194,10 @@ class GlobalEvaluator:
         return self.accuracy_matrix.summary()
 
 
-__all__ = ["evaluate_accuracy", "GlobalEvaluator"]
+__all__ = [
+    "count_correct",
+    "evaluate_accuracy",
+    "EvalBackend",
+    "SerialEvalBackend",
+    "GlobalEvaluator",
+]

@@ -138,6 +138,8 @@ def scaled_config(
     num_workers: int = 0,
     shard_cache: bool = True,
     dtype: str = "float64",
+    eval_executor: str = "serial",
+    eval_every: int = 0,
 ) -> ScaledExperimentConfig:
     """Build the full configuration for one dataset at one scale.
 
@@ -146,7 +148,10 @@ def scaled_config(
     performance knobs of the round execution engine: ``executor``
     (``"serial"`` / ``"parallel"``), ``num_workers`` (0 = one per CPU),
     ``shard_cache`` (per-worker client-shard cache of the parallel data
-    plane, default on) and ``dtype`` (``"float64"`` / ``"float32"``).
+    plane, default on), ``dtype`` (``"float64"`` / ``"float32"``), and the
+    evaluation plane's ``eval_executor`` (``"serial"`` / ``"parallel"``
+    seen-task evaluation) and ``eval_every`` (mid-task evaluation every ``k``
+    rounds, 0 = off).
     """
     scale = scale if scale is not None else get_scale()
     knobs = dict(_SCALE_KNOBS[scale])
@@ -190,6 +195,8 @@ def scaled_config(
         num_workers=num_workers,
         shard_cache=shard_cache,
         dtype=dtype,
+        eval_executor=eval_executor,
+        eval_every=eval_every,
     )
     return ScaledExperimentConfig(
         dataset_name=dataset_name,

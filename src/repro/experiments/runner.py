@@ -9,7 +9,7 @@ configuration so a bench session that regenerates all tables trains each
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.baselines.registry import build_method
@@ -18,6 +18,7 @@ from repro.continual.scenario import DomainIncrementalScenario
 from repro.core.dpcl import DPCLConfig
 from repro.datasets.registry import build_dataset
 from repro.experiments.config import ScaledExperimentConfig
+from repro.federated.config import FederatedConfig
 from repro.federated.simulation import FederatedDomainIncrementalSimulation, SimulationResult
 from repro.utils.logging_utils import get_logger
 
@@ -43,6 +44,24 @@ def clear_run_cache() -> None:
     _RUN_CACHE.clear()
 
 
+def _normalize_execution_knobs(federated: FederatedConfig) -> FederatedConfig:
+    """Fold execution-plane knobs to canonical values for cache-key purposes.
+
+    ``executor`` / ``num_workers`` / ``shard_cache`` / ``eval_executor`` only
+    change *how* a run executes, never its trained numbers (parity is
+    asserted by the execution and eval-plane test suites), so two
+    configurations differing only in those knobs must share one memoised
+    run.  ``dtype`` genuinely changes the numbers and ``eval_every`` changes
+    the recorded ``round_eval_history``, so both stay in the key.  Caveat of
+    sharing: telemetry fields of the cached result (``wall_clock_seconds``)
+    describe whichever variant ran first — use the benches, not the run
+    cache, to compare executor performance.
+    """
+    return replace(
+        federated, executor="serial", num_workers=0, shard_cache=True, eval_executor="serial"
+    )
+
+
 def _cache_key(
     method_name: str,
     config: ScaledExperimentConfig,
@@ -54,7 +73,7 @@ def _cache_key(
         config.dataset_name,
         config.spec,
         config.backbone,
-        config.federated,
+        _normalize_execution_knobs(config.federated),
         config.num_tasks,
         tuple(domain_order) if domain_order is not None else None,
         dpcl,

@@ -23,10 +23,15 @@ from repro.federated.server import BroadcastHandle, FederatedServer
 from repro.federated.method import FederatedMethod
 from repro.federated.config import FederatedConfig
 from repro.federated.execution import (
+    EvalIPC,
+    EvalJob,
+    EvalSliceRef,
     Executor,
+    ParallelEvalBackend,
     ParallelExecutor,
     RoundIPC,
     SerialExecutor,
+    batch_aligned_slices,
     build_executor,
 )
 from repro.federated.simulation import FederatedDomainIncrementalSimulation, SimulationResult
@@ -52,7 +57,12 @@ __all__ = [
     "Executor",
     "SerialExecutor",
     "ParallelExecutor",
+    "ParallelEvalBackend",
     "RoundIPC",
+    "EvalIPC",
+    "EvalJob",
+    "EvalSliceRef",
+    "batch_aligned_slices",
     "build_executor",
     "FederatedDomainIncrementalSimulation",
     "SimulationResult",

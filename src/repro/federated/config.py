@@ -52,6 +52,24 @@ class FederatedConfig:
         Compute precision of the whole pipeline: ``"float64"`` (reference) or
         ``"float32"`` (≈2x lower memory bandwidth; accuracy differences are
         within noise at these scales).
+    eval_executor:
+        How the seen-task evaluation suite runs: ``"serial"`` (historical
+        in-process loop) or ``"parallel"`` (fan seen tasks × batch-aligned
+        test-shard slices over the pinned worker pool — shared with the
+        training plane when ``executor="parallel"``; see
+        :class:`repro.federated.execution.ParallelEvalBackend`).  Accuracy
+        matrices are bit-for-bit identical either way.
+    eval_every:
+        ``0`` (default) evaluates only after each task's final round.  A
+        positive ``k`` additionally scores the global model on every seen
+        domain after every ``k``-th round of each task, recording the
+        snapshots into ``SimulationResult.round_eval_history`` — the paper's
+        per-round accuracy curves, an O(T·R) evaluation workload.  A final
+        round's snapshot scores the freshly aggregated state *before* the
+        method's ``on_task_end`` hook runs, so it is kept separate from (not
+        reused for) the accuracy matrix's after-task evaluation: the two
+        coincide only for methods whose ``on_task_end`` leaves the inference
+        path untouched.
     """
 
     increment: ClientIncrementConfig = field(default_factory=ClientIncrementConfig)
@@ -65,6 +83,8 @@ class FederatedConfig:
     num_workers: int = 0
     shard_cache: bool = True
     dtype: str = "float64"
+    eval_executor: str = "serial"
+    eval_every: int = 0
 
     def __post_init__(self) -> None:
         if self.clients_per_round < 1:
@@ -77,6 +97,12 @@ class FederatedConfig:
             raise ValueError(f"executor must be 'serial' or 'parallel', got {self.executor!r}")
         if self.num_workers < 0:
             raise ValueError("num_workers must be non-negative")
+        if self.eval_executor not in ("serial", "parallel"):
+            raise ValueError(
+                f"eval_executor must be 'serial' or 'parallel', got {self.eval_executor!r}"
+            )
+        if self.eval_every < 0:
+            raise ValueError("eval_every must be non-negative (0 disables mid-task evaluation)")
         try:
             resolved = np.dtype(self.dtype)
         except TypeError as error:

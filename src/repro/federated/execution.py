@@ -44,6 +44,33 @@ hits/misses) is appended to :attr:`ParallelExecutor.ipc_log` as
 :class:`RoundIPC` records; ``benchmarks/bench_round_parallel.py`` turns those
 into the ``round_ipc`` section of ``BENCH_round.json``.
 
+The evaluation plane
+--------------------
+The paper's evaluation protocol (Sec. V-A) scores the global model on *every*
+seen domain after each learning step — an O(T²) forward-pass workload per run
+(O(T·R) with mid-task ``eval_every`` snapshots) that the same pinned pool
+absorbs between training rounds:
+
+* :meth:`ParallelExecutor.run_eval` fans :class:`EvalJob` units — one
+  (seen-task, batch-aligned test-shard slice) each — over the workers and
+  reassembles per-slice *integer* correct/total counts in job order.  Slices
+  are cut on the serial ``DataLoader``'s batch grid
+  (:func:`batch_aligned_slices`), so every worker runs exactly the batches
+  the serial path would run and the summed counts reproduce serial
+  accuracies bit-for-bit;
+* test sets are immutable for the whole run, so slices enter a per-worker
+  ``_WORKER_EVAL_SHARDS`` cache keyed by
+  ``(task_id, slice_index, fingerprint)`` — mirroring ``_WORKER_SHARDS`` —
+  and cross IPC **once per run**: the parent mirrors each worker's eval
+  inventory exactly like the training data plane, attaching slice bytes only
+  on a genuine miss.  A new fingerprint for a (task, slice) pair (e.g. a
+  dtype switch) replaces the stale entry on both sides;
+* :class:`ParallelEvalBackend` adapts the fan-out to the
+  :class:`repro.continual.evaluator.GlobalEvaluator` backend interface, and
+  per-call accounting lands in :attr:`ParallelExecutor.eval_ipc_log` as
+  :class:`EvalIPC` records (the ``eval_plane`` section of
+  ``BENCH_round.json``, via ``benchmarks/bench_eval_parallel.py``).
+
 Both executors hand every client the *same* read-only broadcast state, so no
 per-client ``clone_state_dict`` happens anywhere on the hot path.
 
@@ -60,11 +87,13 @@ import sys
 import traceback
 from dataclasses import dataclass, replace
 from queue import Empty
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.autograd.tensor import get_default_dtype, set_default_dtype
+from repro.continual.evaluator import EvalBackend, PredictFn, count_correct
+from repro.continual.scenario import Task
 from repro.datasets.base import ArrayDataset
 from repro.federated.client import ClientHandle, ShardRef
 from repro.federated.communication import ClientUpdate
@@ -92,6 +121,14 @@ _WORKER_REPLICAS: Dict[tuple, Module] = {}
 #: evicted when a chunk for a different task arrives (shards are immutable
 #: within a task, so nothing else can invalidate them mid-task).
 _WORKER_SHARDS: Dict[Tuple[int, int, str], ArrayDataset] = {}
+
+#: Per-worker-process cache of test-set slices for the evaluation plane,
+#: keyed by ``EvalSliceRef.cache_key`` = (task_id, slice_index, fingerprint).
+#: Test sets never change within a run, so entries live for the pool's
+#: lifetime and each slice crosses IPC once per run; a changed fingerprint
+#: for the same (task, slice) pair (e.g. a dtype switch between simulations
+#: on a long-lived pool) replaces the stale entry at install time.
+_WORKER_EVAL_SHARDS: Dict[Tuple[int, int, str], ArrayDataset] = {}
 
 _ShardKey = Tuple[int, int, str]
 
@@ -193,6 +230,127 @@ def _resolve_chunk(
     return resolved
 
 
+@dataclass(frozen=True)
+class EvalSliceRef:
+    """Identity of one batch-aligned test-set slice, without the payload.
+
+    The evaluation plane's analogue of :class:`~repro.federated.client.ShardRef`:
+    rides every eval job over IPC while the slice bytes themselves ship only on
+    a worker cache miss — once per run, since test sets are immutable.
+    """
+
+    task_id: int
+    slice_index: int
+    fingerprint: str
+    num_samples: int
+
+    @property
+    def cache_key(self) -> Tuple[int, int, str]:
+        return (self.task_id, self.slice_index, self.fingerprint)
+
+
+@dataclass(frozen=True)
+class EvalJob:
+    """One unit of evaluation work: score one slice of one seen task's test set."""
+
+    task_id: int
+    slice_index: int
+    dataset: ArrayDataset
+    batch_size: int
+
+    def slice_ref(self) -> EvalSliceRef:
+        return EvalSliceRef(
+            task_id=self.task_id,
+            slice_index=self.slice_index,
+            fingerprint=self.dataset.fingerprint(),
+            num_samples=len(self.dataset),
+        )
+
+
+def batch_aligned_slices(
+    dataset: ArrayDataset, batch_size: int, num_slices: int
+) -> List[ArrayDataset]:
+    """Cut ``dataset`` into at most ``num_slices`` contiguous slices on the
+    serial ``DataLoader``'s batch grid.
+
+    Every slice boundary falls on a multiple of ``batch_size``, so evaluating
+    the slices independently runs *exactly* the mini-batches a serial pass
+    over the whole dataset runs — same batch shapes, same floating-point
+    forward passes — and the per-slice integer correct counts sum to the
+    serial count.  That is the invariant behind the eval plane's bit-for-bit
+    serial/parallel parity.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be at least 1")
+    if num_slices < 1:
+        raise ValueError("num_slices must be at least 1")
+    if len(dataset) == 0:
+        raise ValueError("cannot slice an empty dataset")
+    num_batches = -(-len(dataset) // batch_size)  # ceil
+    pieces = min(num_slices, num_batches)
+    slices: List[ArrayDataset] = []
+    for index in range(pieces):
+        start = (index * num_batches // pieces) * batch_size
+        end = min(((index + 1) * num_batches // pieces) * batch_size, len(dataset))
+        slices.append(dataset.subset(np.arange(start, end)))
+    return slices
+
+
+def _install_eval_shards(shard_blobs: Dict[_ShardKey, bytes]) -> None:
+    """Install the eval-slice payloads the parent attached for this worker's misses.
+
+    A fresh fingerprint for an already-held (task, slice) pair replaces the
+    stale entry, so the cache is bounded by one copy of the test suite even
+    when a long-lived pool switches compute dtype between simulations.
+    """
+    for key, blob in shard_blobs.items():
+        for stale in [k for k in _WORKER_EVAL_SHARDS if k[:2] == key[:2] and k != key]:
+            del _WORKER_EVAL_SHARDS[stale]
+        _WORKER_EVAL_SHARDS[key] = pickle.loads(blob)
+
+
+def _run_eval_chunk(
+    method_blob: bytes,
+    broadcast_blob: bytes,
+    items: Sequence[Tuple[int, EvalSliceRef, int]],
+    dtype_name: str,
+) -> List[Tuple[int, int, int]]:
+    """Score one worker's share of the evaluation jobs.
+
+    Loads the broadcast state into the cached per-process replica once, then
+    counts correct predictions per slice through the method's own inference
+    path (``predict_logits``).  Returns ``(job_index, correct, total)``
+    triples; integer counts make the parent-side reassembly exact.
+    """
+    set_default_dtype(dtype_name)
+    method: FederatedMethod = pickle.loads(method_blob)
+    state, _ = deserialize_state(broadcast_blob)
+    state = readonly_state_view(state)
+    model = _replica_for(method, state)
+    model.load_state_dict(state)
+    results: List[Tuple[int, int, int]] = []
+    for job_index, ref, batch_size in items:
+        shard = _WORKER_EVAL_SHARDS.get(ref.cache_key)
+        if shard is None:
+            raise RuntimeError(
+                f"worker eval-shard cache miss for task {ref.task_id} "
+                f"slice {ref.slice_index}: the parent's inventory claims this "
+                "slice was already shipped to this worker — pinned-queue "
+                "bookkeeping and worker install are out of sync"
+            )
+        if len(shard) != ref.num_samples:
+            raise RuntimeError(
+                f"worker eval-shard cache corruption for task {ref.task_id} "
+                f"slice {ref.slice_index}: cached slice has {len(shard)} samples "
+                f"but the job expects {ref.num_samples}"
+            )
+        correct = count_correct(
+            model, shard, batch_size=batch_size, predict_fn=method.predict_logits
+        )
+        results.append((job_index, correct, len(shard)))
+    return results
+
+
 def _encode_error(exc: BaseException) -> Tuple[Optional[bytes], str]:
     """Make a worker failure shippable: the exception if picklable, plus text."""
     text = "".join(traceback.format_exception(type(exc), exc, exc.__traceback__))
@@ -219,18 +377,33 @@ def _raise_worker_error(encoded: Tuple[Optional[bytes], str]) -> None:
 
 
 def _worker_main(worker_id: int, task_queue, result_queue) -> None:
-    """Entry point of one pinned worker; loops until the ``None`` sentinel."""
+    """Entry point of one pinned worker; loops until the ``None`` sentinel.
+
+    Messages are ``(kind, payload)`` pairs: ``"train"`` chunks run local
+    updates through the client data plane, ``"eval"`` chunks score test-set
+    slices through the evaluation plane.  Both planes share the worker's
+    model replica cache, so evaluation jobs reuse the replica the training
+    rounds already built.
+    """
     while True:
         message = task_queue.get()
         if message is None:
             return
-        method_blob, broadcast_blob, items, shard_blobs, dtype_name, task_id = message
+        kind, payload = message
         try:
-            _install_shards(shard_blobs)
-            _evict_stale_shards(task_id)
-            results = _run_client_chunk(
-                method_blob, broadcast_blob, _resolve_chunk(items), dtype_name
-            )
+            if kind == "train":
+                method_blob, broadcast_blob, items, shard_blobs, dtype_name, task_id = payload
+                _install_shards(shard_blobs)
+                _evict_stale_shards(task_id)
+                results = _run_client_chunk(
+                    method_blob, broadcast_blob, _resolve_chunk(items), dtype_name
+                )
+            elif kind == "eval":
+                method_blob, broadcast_blob, items, shard_blobs, dtype_name = payload
+                _install_eval_shards(shard_blobs)
+                results = _run_eval_chunk(method_blob, broadcast_blob, items, dtype_name)
+            else:
+                raise RuntimeError(f"unknown worker message kind {kind!r}")
             result_queue.put((worker_id, "ok", results))
         except BaseException as exc:  # ship the failure instead of dying silently
             result_queue.put((worker_id, "error", _encode_error(exc)))
@@ -407,6 +580,24 @@ class RoundIPC:
     cache_hits: int
 
 
+@dataclass(frozen=True)
+class EvalIPC:
+    """What one :meth:`ParallelExecutor.run_eval` call shipped to its workers.
+
+    Same byte conventions as :class:`RoundIPC`: ``method_bytes`` and
+    ``broadcast_bytes`` count blob size times worker messages.  With the
+    cache on, ``shard_bytes`` is non-zero only the first time a (task, slice)
+    pair reaches its worker — once per run.  Failed calls are not logged.
+    """
+
+    num_jobs: int
+    method_bytes: int
+    broadcast_bytes: int
+    shard_bytes: int
+    shards_shipped: int
+    cache_hits: int
+
+
 class ParallelExecutor(Executor):
     """Pinned-worker-pool execution with a single-serialization broadcast and a
     per-worker shard cache (the client data plane; see the module docstring).
@@ -430,8 +621,10 @@ class ParallelExecutor(Executor):
         self.num_workers = max(1, num_workers if num_workers else (os.cpu_count() or 1))
         self.shard_cache = shard_cache
         self.ipc_log: List[RoundIPC] = []
+        self.eval_ipc_log: List[EvalIPC] = []
         self._pool: Optional[_PinnedWorkerPool] = None
         self._inventories: List[Set[_ShardKey]] = []
+        self._eval_inventories: List[Set[_ShardKey]] = []
 
     def _ensure_pool(self) -> _PinnedWorkerPool:
         if self._pool is None:
@@ -445,6 +638,7 @@ class ParallelExecutor(Executor):
                 context = multiprocessing.get_context()
             self._pool = _PinnedWorkerPool(self.num_workers, context)
             self._inventories = [set() for _ in range(self.num_workers)]
+            self._eval_inventories = [set() for _ in range(self.num_workers)]
         return self._pool
 
     def run_round(
@@ -505,7 +699,10 @@ class ParallelExecutor(Executor):
                             inventory.add(key)
                     items.append((index, client.lighten(), ref))
                 messages.append(
-                    (worker_id, (method_blob, broadcast_blob, items, shard_blobs, dtype_name, task_id))
+                    (
+                        worker_id,
+                        ("train", (method_blob, broadcast_blob, items, shard_blobs, dtype_name, task_id)),
+                    )
                 )
             for worker_id, message in messages:
                 pool.submit(worker_id, message)
@@ -547,11 +744,103 @@ class ParallelExecutor(Executor):
                 method.import_client_state(update.client_id, exported)
         return updates
 
+    def run_eval(
+        self,
+        method: FederatedMethod,
+        broadcast: BroadcastHandle,
+        jobs: Sequence[EvalJob],
+    ) -> List[Tuple[int, int]]:
+        """Score every evaluation job on the pool; return (correct, total) in job order.
+
+        The evaluation plane's fan-out: jobs are pinned to workers by
+        ``(task_id + slice_index) % num_workers`` — deterministic, so a slice
+        lands on the same worker every call and its cached bytes are found
+        again — and slice payloads are attached only for keys the receiving
+        worker does not already hold (mirrored inventories, exactly like the
+        training data plane).  ``shard_cache=False`` re-ships every slice on
+        every call (the bench baseline); counts are identical either way.
+        """
+        if not jobs:
+            return []
+        pool = self._ensure_pool()
+        method_blob = pickle.dumps(method, protocol=pickle.HIGHEST_PROTOCOL)
+        broadcast_blob = broadcast.serialized()
+        dtype_name = get_default_dtype().name
+        buckets: List[List[Tuple[int, EvalJob]]] = [[] for _ in range(self.num_workers)]
+        for index, job in enumerate(jobs):
+            buckets[(job.task_id + job.slice_index) % self.num_workers].append((index, job))
+        shard_bytes = shards_shipped = cache_hits = 0
+        # Same failure discipline as run_round: a partially-submitted call
+        # would leave results in flight and inventories desynchronised, so
+        # any build/submit/collect failure tears the pool down (close()
+        # clears both planes' inventories).
+        try:
+            messages: List[Tuple[int, tuple]] = []
+            for worker_id, bucket in enumerate(buckets):
+                if not bucket:
+                    continue
+                inventory = self._eval_inventories[worker_id]
+                items: List[Tuple[int, EvalSliceRef, int]] = []
+                shard_blobs: Dict[_ShardKey, bytes] = {}
+                for index, job in bucket:
+                    ref = job.slice_ref()
+                    key = ref.cache_key
+                    if self.shard_cache and key in inventory:
+                        cache_hits += 1
+                    elif key not in shard_blobs:
+                        blob = pickle.dumps(job.dataset, protocol=pickle.HIGHEST_PROTOCOL)
+                        shard_blobs[key] = blob
+                        shard_bytes += len(blob)
+                        shards_shipped += 1
+                        if self.shard_cache:
+                            # Mirror the worker's install-time replacement: a
+                            # new fingerprint for this (task, slice) pair
+                            # supersedes the stale entry on both sides.
+                            for stale in [k for k in inventory if k[:2] == key[:2]]:
+                                inventory.discard(stale)
+                            inventory.add(key)
+                    items.append((index, ref, job.batch_size))
+                messages.append(
+                    (worker_id, ("eval", (method_blob, broadcast_blob, items, shard_blobs, dtype_name)))
+                )
+            for worker_id, message in messages:
+                pool.submit(worker_id, message)
+            outcomes = pool.collect({worker_id for worker_id, _ in messages})
+        except Exception:
+            self.close()
+            raise
+        gathered: List[Tuple[int, int, int]] = []
+        failure: Optional[Tuple[Optional[bytes], str]] = None
+        for worker_id, status, payload in outcomes:
+            if status == "error":
+                failure = failure if failure is not None else payload
+                # The worker may have failed mid-install; forget its eval
+                # inventory and re-ship on its next chunk (installs are
+                # idempotent).
+                self._eval_inventories[worker_id].clear()
+            else:
+                gathered.extend(payload)
+        if failure is not None:
+            _raise_worker_error(failure)
+        self.eval_ipc_log.append(
+            EvalIPC(
+                num_jobs=len(jobs),
+                method_bytes=len(method_blob) * len(messages),
+                broadcast_bytes=len(broadcast_blob) * len(messages),
+                shard_bytes=shard_bytes,
+                shards_shipped=shards_shipped,
+                cache_hits=cache_hits,
+            )
+        )
+        gathered.sort(key=lambda item: item[0])
+        return [(correct, total) for _, correct, total in gathered]
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.close()
             self._pool = None
             self._inventories = []
+            self._eval_inventories = []
 
     def __del__(self) -> None:  # pragma: no cover - best-effort cleanup
         try:
@@ -560,6 +849,106 @@ class ParallelExecutor(Executor):
                 self._pool = None
         except Exception:
             pass
+
+
+class ParallelEvalBackend(EvalBackend):
+    """Fans a :class:`GlobalEvaluator`'s seen-task suite over a pinned pool.
+
+    Each test set is cut once on the serial ``DataLoader``'s batch grid
+    (:func:`batch_aligned_slices`, at most ``executor.num_workers`` slices)
+    and cached — with its content fingerprints pre-computed — per
+    (task, dtype, batch size), so repeated evaluations re-hash nothing and
+    re-ship nothing.  Scoring runs through the *method's* own pickled
+    inference path (``predict_logits``) inside the workers — the same
+    computation the serial backend performs when the evaluator's
+    ``predict_fn`` is the method's bound ``predict_logits`` (the simulation
+    wires exactly that), so accuracies match the serial backend bit-for-bit.
+    Any *other* ``predict_fn`` is rejected loudly: closures cannot cross the
+    process boundary, and silently substituting the method path would break
+    the backend contract.
+
+    ``broadcast_fn`` supplies the round-style broadcast handle whose state the
+    workers load before scoring (the simulation passes
+    ``server.broadcast_view``, which shares any handle already cached within
+    the current round; the simulation invalidates it around every
+    server-facing method hook, so each evaluation serializes the state at
+    most once).  Without one, a handle is built from the evaluated model's
+    own state dict.
+    """
+
+    def __init__(
+        self,
+        executor: ParallelExecutor,
+        method: FederatedMethod,
+        broadcast_fn: Optional[Callable[[], BroadcastHandle]] = None,
+    ) -> None:
+        self.executor = executor
+        self.method = method
+        self.broadcast_fn = broadcast_fn
+        self._slices: Dict[Tuple[int, str, int], List[ArrayDataset]] = {}
+
+    def _slices_for(
+        self, task_id: int, dataset: ArrayDataset, batch_size: int
+    ) -> List[ArrayDataset]:
+        # Content-keyed (the fingerprint covers dtype and values, and is
+        # memoised on the dataset) so a backend reused across scenarios — or
+        # across dtype switches — can never score stale slices.
+        key = (task_id, dataset.fingerprint(), batch_size)
+        if key not in self._slices:
+            # One slicing at a time per task, like the evaluator's
+            # converted-test cache: a content/dtype switch evicts the task's
+            # stale slicing, bounding the cache to one copy of the suite.
+            for stale in [k for k in self._slices if k[0] == task_id and k != key]:
+                del self._slices[stale]
+            slices = batch_aligned_slices(dataset, batch_size, self.executor.num_workers)
+            for piece in slices:
+                piece.fingerprint()  # pay the per-slice content hash once
+            self._slices[key] = slices
+        return self._slices[key]
+
+    def evaluate(
+        self,
+        model: Module,
+        pairs: Sequence[Tuple[Task, ArrayDataset]],
+        batch_size: int,
+        predict_fn: Optional[PredictFn] = None,
+    ) -> List[float]:
+        if predict_fn != self.method.predict_logits:
+            # Workers score through the pickled method's own predict_logits.
+            # A caller-supplied closure cannot cross the process boundary, and
+            # None would make the serial backend score plain model(images) —
+            # which diverges from predict_logits for prompt-based methods —
+            # so anything but the method's own bound hook is rejected loudly
+            # rather than silently breaking the backend bit-for-bit contract.
+            raise ValueError(
+                "ParallelEvalBackend evaluates through its method's own "
+                "predict_logits inside worker processes; construct the "
+                "GlobalEvaluator with predict_fn=method.predict_logits (the "
+                "simulation does), or use SerialEvalBackend for custom "
+                "inference hooks"
+            )
+        broadcast = (
+            self.broadcast_fn()
+            if self.broadcast_fn is not None
+            else BroadcastHandle(model.state_dict(), {})
+        )
+        jobs: List[EvalJob] = []
+        spans: List[Tuple[int, int]] = []
+        for task, dataset in pairs:
+            slices = self._slices_for(task.task_id, dataset, batch_size)
+            start = len(jobs)
+            jobs.extend(
+                EvalJob(task_id=task.task_id, slice_index=index, dataset=piece, batch_size=batch_size)
+                for index, piece in enumerate(slices)
+            )
+            spans.append((start, len(jobs)))
+        counts = self.executor.run_eval(self.method, broadcast, jobs)
+        accuracies: List[float] = []
+        for start, end in spans:
+            correct = sum(count for count, _ in counts[start:end])
+            total = sum(total for _, total in counts[start:end])
+            accuracies.append(correct / total)
+        return accuracies
 
 
 def build_executor(
@@ -577,6 +966,11 @@ __all__ = [
     "Executor",
     "SerialExecutor",
     "ParallelExecutor",
+    "ParallelEvalBackend",
     "RoundIPC",
+    "EvalIPC",
+    "EvalJob",
+    "EvalSliceRef",
+    "batch_aligned_slices",
     "build_executor",
 ]

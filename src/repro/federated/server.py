@@ -74,11 +74,20 @@ class FederatedServer:
 
         The handle is cached until the global state or payload changes, so
         repeated calls within one round are free and its cached serialization
-        is reused across all workers of a parallel round.
+        is reused across all workers of a parallel round.  ``aggregate`` and
+        ``set_broadcast_payload`` invalidate it themselves; callers that let a
+        method hook mutate ``global_state`` directly must call
+        :meth:`invalidate_broadcast` afterwards (the simulation loop does,
+        after every server-facing hook), or the cached handle would keep
+        serving the pre-hook state.
         """
         if self._broadcast_handle is None:
             self._broadcast_handle = BroadcastHandle(self.global_state, self.broadcast_payload)
         return self._broadcast_handle
+
+    def invalidate_broadcast(self) -> None:
+        """Drop the cached broadcast handle (and its serialization)."""
+        self._broadcast_handle = None
 
     def aggregate(self, updates: List[ClientUpdate]) -> Dict[str, np.ndarray]:
         """FedAvg the updates into a new global state (weighted by |D_m|)."""

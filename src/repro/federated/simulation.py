@@ -26,7 +26,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.autograd.tensor import default_dtype, get_default_dtype
-from repro.continual.evaluator import GlobalEvaluator
+from repro.continual.evaluator import EvalBackend, GlobalEvaluator
 from repro.continual.metrics import ContinualMetrics
 from repro.continual.scenario import DomainIncrementalScenario, Task
 from repro.datasets.base import ArrayDataset
@@ -34,7 +34,7 @@ from repro.datasets.partition import partition_domain_across_clients
 from repro.federated.client import ClientHandle
 from repro.federated.communication import ClientUpdate, CommunicationLedger
 from repro.federated.config import FederatedConfig
-from repro.federated.execution import build_executor
+from repro.federated.execution import ParallelEvalBackend, ParallelExecutor, build_executor
 from repro.federated.increment import ClientGroup, ClientIncrementSchedule
 from repro.federated.method import FederatedMethod
 from repro.federated.sampling import sample_clients
@@ -58,18 +58,27 @@ class SimulationResult:
     communication: Optional[CommunicationLedger] = None
     schedule_trace: List[Dict[str, int]] = field(default_factory=list)
     wall_clock_seconds: float = 0.0
+    #: Mid-task evaluation snapshots recorded by ``eval_every``: one entry per
+    #: evaluated round, ``{"task_id", "round_index", "accuracies"}`` where
+    #: ``accuracies`` maps every seen domain's name to its accuracy.
+    round_eval_history: List[Dict[str, object]] = field(default_factory=list)
 
 
 def _mean_update_metrics(updates: List[ClientUpdate]) -> Dict[str, float]:
-    """Client-mean of every metric key reported by all of the round's updates."""
-    if not updates or not updates[0].metrics:
-        return {}
-    shared = set(updates[0].metrics)
-    for update in updates[1:]:
-        shared &= set(update.metrics)
-    return {
-        key: float(np.mean([update.metrics[key] for update in updates])) for key in sorted(shared)
-    }
+    """Per-key client means over the updates that actually report each key.
+
+    A round's loss breakdown (the Table VII components) must not depend on
+    which client happens to come first in selection order: an update with no
+    metrics — or with a partial set of keys — simply contributes nothing to
+    the keys it does not report, instead of erasing the whole round's
+    breakdown.  When every update reports every key (the normal case) this is
+    the plain client mean, bit-for-bit.
+    """
+    values: Dict[str, List[float]] = {}
+    for update in updates:
+        for key, value in update.metrics.items():
+            values.setdefault(key, []).append(float(value))
+    return {key: float(np.mean(values[key])) for key in sorted(values)}
 
 
 class FederatedDomainIncrementalSimulation:
@@ -77,7 +86,9 @@ class FederatedDomainIncrementalSimulation:
 
     The per-round client loop is delegated to a
     :class:`repro.federated.execution.Executor` selected by
-    ``config.executor`` / ``config.num_workers``, and the whole run executes
+    ``config.executor`` / ``config.num_workers``, seen-task evaluation to the
+    eval backend selected by ``config.eval_executor`` (with optional mid-task
+    snapshots every ``config.eval_every`` rounds), and the whole run executes
     under the compute dtype selected by ``config.dtype``.
     """
 
@@ -95,10 +106,31 @@ class FederatedDomainIncrementalSimulation:
         self.server = FederatedServer(self.model)
         self.schedule = ClientIncrementSchedule(config.increment)
         self.executor = build_executor(config.executor, config.num_workers, config.shard_cache)
+        # The evaluation plane: when eval_executor="parallel", seen-task
+        # evaluation fans over a pinned worker pool — the training executor's
+        # own pool when it is parallel too (evaluation jobs interleave with
+        # training chunks on the same workers), or a dedicated one otherwise.
+        self.eval_executor: Optional[ParallelExecutor] = None
+        self._owns_eval_executor = False
+        eval_backend: Optional[EvalBackend] = None
+        if config.eval_executor == "parallel":
+            if isinstance(self.executor, ParallelExecutor):
+                self.eval_executor = self.executor
+            else:
+                self.eval_executor = ParallelExecutor(
+                    config.num_workers, shard_cache=config.shard_cache
+                )
+                self._owns_eval_executor = True
+            eval_backend = ParallelEvalBackend(
+                self.eval_executor, method, broadcast_fn=self.server.broadcast_view
+            )
+        # The bound method (not an equivalent lambda) so a parallel backend
+        # can verify the evaluator's inference path is the method's own.
         self.evaluator = GlobalEvaluator(
             scenario,
             batch_size=config.eval_batch_size,
-            predict_fn=lambda model, images: method.predict_logits(model, images),
+            predict_fn=method.predict_logits,
+            backend=eval_backend,
         )
         # The most recent single-domain shard held by each client and the
         # domain indices a client has ever trained on.
@@ -107,6 +139,7 @@ class FederatedDomainIncrementalSimulation:
         self._domains_held: Dict[int, List[int]] = {}
         self.round_losses: List[float] = []
         self.round_loss_components: List[Dict[str, float]] = []
+        self.round_eval_history: List[Dict[str, object]] = []
         self.timer = Timer()
 
     # ------------------------------------------------------------------ #
@@ -163,6 +196,9 @@ class FederatedDomainIncrementalSimulation:
     def _run_round(self, task: Task, round_index: int) -> None:
         assignment = self.schedule.assignment_for_task(task.task_id)
         self.method.on_round_start(task.task_id, round_index, self.server)
+        # The hook may mutate server state directly; a stale cached broadcast
+        # (left by the previous round's eval snapshot) must not survive it.
+        self.server.invalidate_broadcast()
         rng = spawn_rng(self.config.seed, "selection", task.task_id, round_index)
         eligible = [
             client_id
@@ -199,6 +235,10 @@ class FederatedDomainIncrementalSimulation:
             updates = self.executor.run_round(self.method, self.model, broadcast, handles)
         with self.timer.measure("aggregate"):
             self.method.aggregate(self.server, updates)
+        # server.aggregate() invalidates the cached broadcast itself, but a
+        # method's aggregate override may mutate server state directly; the
+        # mid-task eval below must never score a stale pre-round broadcast.
+        self.server.invalidate_broadcast()
         mean_loss = float(np.mean([update.train_loss for update in updates]))
         self.round_losses.append(mean_loss)
         self.round_loss_components.append(_mean_update_metrics(updates))
@@ -216,6 +256,17 @@ class FederatedDomainIncrementalSimulation:
             len(updates),
             mean_loss,
         )
+        if self.config.eval_every and (round_index + 1) % self.config.eval_every == 0:
+            # Mid-task snapshot of the paper's evaluation protocol: score the
+            # freshly aggregated global model on every seen domain.  Recorded
+            # outside the accuracy matrix (which admits one entry per task
+            # pair) into the per-round history.
+            self.model.load_state_dict(self.server.global_state)
+            with self.timer.measure("round_evaluation"):
+                accuracies = self.evaluator.evaluate_seen(self.model, task.task_id)
+            self.round_eval_history.append(
+                {"task_id": task.task_id, "round_index": round_index, "accuracies": accuracies}
+            )
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -224,10 +275,15 @@ class FederatedDomainIncrementalSimulation:
         """Run all rounds of one task and return per-domain evaluation accuracies."""
         with default_dtype(self.config.dtype):
             self.method.on_task_start(task.task_id, self.server)
+            self.server.invalidate_broadcast()
             self._assign_task_data(task)
             for round_index in range(self.config.rounds_per_task):
                 self._run_round(task, round_index)
             self.method.on_task_end(task.task_id, self.server)
+            # Whatever the hook did to the server must be visible to the
+            # after-task evaluation below (the parallel eval backend scores
+            # through server.broadcast_view()) and to the next task's rounds.
+            self.server.invalidate_broadcast()
             self.model.load_state_dict(self.server.global_state)
             with self.timer.measure("evaluation"):
                 return self.evaluator.evaluate_after_task(self.model, task.task_id)
@@ -256,11 +312,14 @@ class FederatedDomainIncrementalSimulation:
             communication=self.server.ledger,
             schedule_trace=self.schedule.schedule_trace(self.scenario.num_tasks),
             wall_clock_seconds=self.timer.total("total"),
+            round_eval_history=self.round_eval_history,
         )
 
     def close(self) -> None:
         """Release executor resources (worker pools); idempotent."""
         self.executor.close()
+        if self._owns_eval_executor and self.eval_executor is not None:
+            self.eval_executor.close()
 
 
 __all__ = ["FederatedDomainIncrementalSimulation", "SimulationResult"]

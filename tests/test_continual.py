@@ -6,9 +6,18 @@ import numpy as np
 import pytest
 
 from repro.autograd import Tensor
-from repro.continual import AccuracyMatrix, DomainIncrementalScenario, GlobalEvaluator, evaluate_accuracy
+from repro.autograd.tensor import default_dtype
+from repro.continual import (
+    AccuracyMatrix,
+    DomainIncrementalScenario,
+    GlobalEvaluator,
+    SerialEvalBackend,
+    count_correct,
+    evaluate_accuracy,
+)
 from repro.datasets import SyntheticDomainDataset
 from repro.datasets.base import ArrayDataset
+from repro.nn.dropout import Dropout
 from repro.nn.linear import Linear
 from repro.nn.module import Module
 
@@ -162,6 +171,81 @@ class TestEvaluator:
         summary = evaluator.summary()
         assert len(summary.step_averages) == 2
         assert 0.0 <= summary.average <= 1.0
+
+    def test_evaluate_restores_prior_module_mode(self):
+        """Regression: evaluation used to force model.train() on exit,
+        re-enabling dropout even for callers that held the model in eval
+        mode.  The actual prior mode must be restored, recursively."""
+        labels = np.array([0, 0, 1, 2])
+        data = ArrayDataset(np.zeros((4, 3, 4, 4)), labels)
+        model = _ConstantModel(3, chosen=0)
+        model.dropout = Dropout(0.5)  # a submodule whose mode matters
+
+        model.eval()
+        evaluate_accuracy(model, data)
+        assert not model.training and not model.dropout.training  # no leakage
+
+        model.train()
+        count_correct(model, data)
+        assert model.training and model.dropout.training  # restored, not stuck in eval
+
+        # Heterogeneous modes survive too: a submodule deliberately held in
+        # eval (e.g. a frozen backbone) must not be flipped to train by a
+        # recursive restore of the root's mode.
+        model.train()
+        model.dropout.eval()
+        evaluate_accuracy(model, data)
+        assert model.training and not model.dropout.training
+
+    def test_mode_restored_even_when_predict_fn_raises(self):
+        data = ArrayDataset(np.zeros((2, 3, 4, 4)), np.array([0, 1]))
+        model = _ConstantModel(3, chosen=0)
+
+        def boom(model, images):
+            raise RuntimeError("inference failed")
+
+        model.train()
+        with pytest.raises(RuntimeError, match="inference failed"):
+            count_correct(model, data, predict_fn=boom)
+        assert model.training
+
+    def test_converted_test_cache_holds_one_dtype_at_a_time(self, tiny_spec):
+        """Regression: the evaluator used to retain every (task, dtype)
+        conversion forever; conversion to one precision must evict the other
+        precision's entries so the cache is bounded by one copy of the test
+        suite."""
+        with default_dtype(np.float32):
+            scenario = DomainIncrementalScenario(SyntheticDomainDataset(tiny_spec), num_tasks=2)
+            tasks = scenario.tasks()  # splits generated (and cached) as float32
+        evaluator = GlobalEvaluator(scenario)
+        with default_dtype(np.float32):
+            for task in tasks:
+                assert evaluator._test_set(task) is task.test  # matching dtype: no copy
+            assert evaluator._converted_tests == {}
+        for task in tasks:  # a float64 run over the same scenario converts
+            assert evaluator._test_set(task).images.dtype == np.float64
+        assert set(evaluator._converted_tests) == {(0, "float64"), (1, "float64")}
+        assert evaluator._test_set(tasks[0]) is evaluator._test_set(tasks[0])  # memoised
+        # A stale other-dtype entry (left by a prior differently-typed run)
+        # is evicted at the next conversion instead of retained forever.
+        evaluator._converted_tests[(0, "float32")] = tasks[0].test
+        del evaluator._converted_tests[(1, "float64")]
+        evaluator._test_set(tasks[1])
+        assert set(evaluator._converted_tests) == {(0, "float64"), (1, "float64")}
+
+    def test_default_backend_is_serial(self, tiny_spec):
+        scenario = DomainIncrementalScenario(SyntheticDomainDataset(tiny_spec), num_tasks=1)
+        assert isinstance(GlobalEvaluator(scenario).backend, SerialEvalBackend)
+
+    def test_evaluate_seen_matches_after_task_without_recording(self, tiny_spec):
+        scenario = DomainIncrementalScenario(SyntheticDomainDataset(tiny_spec), num_tasks=2)
+        evaluator = GlobalEvaluator(scenario)
+        model = _ConstantModel(tiny_spec.num_classes, chosen=1)
+        snapshot = evaluator.evaluate_seen(model, 1)
+        assert evaluator.per_task_history == []
+        assert np.isnan(evaluator.accuracy_matrix.matrix).all()
+        assert snapshot == evaluator.evaluate_after_task(model, 1)
+        assert len(evaluator.per_task_history) == 1
 
     def test_predict_fn_hook_is_used(self, tiny_spec):
         scenario = DomainIncrementalScenario(SyntheticDomainDataset(tiny_spec), num_tasks=1)

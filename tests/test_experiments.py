@@ -192,3 +192,38 @@ class TestRunner:
         default = run_method_on_dataset("finetune", micro_config)
         reordered = run_method_on_dataset("finetune", micro_config, domain_order=[1, 0, 2, 3])
         assert reordered.domain_names[0] == default.domain_names[1]
+
+    def test_execution_knobs_do_not_fragment_the_cache(self, micro_config):
+        """Regression: runs differing only in execution-plane knobs (executor,
+        num_workers, shard_cache, eval_executor) are bit-for-bit identical, so
+        they must share one memoised run instead of retraining from scratch."""
+        from dataclasses import replace as dc_replace
+
+        from repro.experiments.runner import _cache_key
+
+        def with_federated(**overrides):
+            return dc_replace(micro_config, federated=dc_replace(micro_config.federated, **overrides))
+
+        base_key = _cache_key("finetune", micro_config, None, None)
+        for overrides in (
+            {"executor": "parallel", "num_workers": 4},
+            {"shard_cache": False},
+            {"eval_executor": "parallel"},
+            {"executor": "parallel", "num_workers": 2, "shard_cache": False, "eval_executor": "parallel"},
+        ):
+            assert _cache_key("finetune", with_federated(**overrides), None, None) == base_key
+        # dtype changes the bits and eval_every changes the recorded history:
+        # both must keep their own cache entries.
+        assert _cache_key("finetune", with_federated(dtype="float32"), None, None) != base_key
+        assert _cache_key("finetune", with_federated(eval_every=1), None, None) != base_key
+
+    def test_execution_knob_variants_hit_the_same_memoised_run(self, micro_config):
+        from dataclasses import replace as dc_replace
+
+        clear_run_cache()
+        first = run_method_on_dataset("finetune", micro_config)
+        parallel_config = dc_replace(
+            micro_config,
+            federated=dc_replace(micro_config.federated, executor="parallel", num_workers=2),
+        )
+        assert run_method_on_dataset("finetune", parallel_config) is first
