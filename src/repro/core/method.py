@@ -20,7 +20,7 @@ from repro.core.dpcl import DPCLConfig
 from repro.core.model import RefFiLModel
 from repro.core.server import RefFiLPromptAggregator, aggregate_with_prompts
 from repro.federated.client import ClientHandle
-from repro.federated.communication import ClientUpdate
+from repro.federated.communication import ClientUpdate, TreePayloadCodec
 from repro.federated.method import FederatedMethod
 from repro.federated.server import FederatedServer
 from repro.models.backbone import BackboneConfig
@@ -42,6 +42,105 @@ class RefFiLConfig:
     def with_components(self, use_cdap: bool, use_gpl: bool, use_dpcl: bool) -> "RefFiLConfig":
         """Return a copy with different ablation switches (Table VII rows)."""
         return replace(self, use_cdap=use_cdap, use_gpl=use_gpl, use_dpcl=use_dpcl)
+
+
+class RefFiLPromptCodec(TreePayloadCodec):
+    """Wire codec for RefFiL's prompt payloads: stacked matrices, not opaque dicts.
+
+    RefFiL's two payload shapes are dicts of per-class vectors — the uploaded
+    ``LPG_m`` (``{"prompt_groups": {label: (d,)}}``) and the broadcast prompt
+    store (``{"class_<k>": (N_k, d)}``).  The generic tree codec would ship
+    one tiny named array per class; this codec stacks each into a single
+    labels/vectors pair, so the wire codec (delta / quantize / topk) sees two
+    dense matrices instead of dozens of fragments and per-array framing
+    overhead disappears.  Unrecognised payloads fall back to the tree walk,
+    and both shapes round-trip exactly — values, dtypes and dict order.
+    """
+
+    def flatten(self, payload):
+        flat = self._flatten_prompt_groups(payload)
+        if flat is None:
+            flat = self._flatten_store(payload)
+        return flat if flat is not None else super().flatten(payload)
+
+    def unflatten(self, arrays, skeleton):
+        if isinstance(skeleton, tuple) and skeleton and skeleton[0] == "reffil-lpg":
+            labels = arrays["lpg/labels"]
+            vectors = np.asarray(arrays["lpg/vectors"])
+            return {
+                "prompt_groups": {
+                    str(int(label)): vectors[index].copy()
+                    for index, label in enumerate(labels)
+                }
+            }
+        if isinstance(skeleton, tuple) and skeleton and skeleton[0] == "reffil-store":
+            labels = arrays["gps/labels"]
+            counts = arrays["gps/counts"]
+            vectors = np.asarray(arrays["gps/vectors"])
+            store: Dict[str, np.ndarray] = {}
+            start = 0
+            for label, count in zip(labels, counts):
+                store[f"class_{int(label)}"] = vectors[start : start + int(count)].copy()
+                start += int(count)
+            return store
+        return super().unflatten(arrays, skeleton)
+
+    @staticmethod
+    def _canonical_int(text: str) -> Optional[int]:
+        """``int(text)`` when ``str(int(text)) == text``; None otherwise."""
+        try:
+            value = int(text)
+        except ValueError:
+            return None
+        return value if str(value) == text else None
+
+    @classmethod
+    def _flatten_prompt_groups(cls, payload):
+        if not (isinstance(payload, dict) and set(payload) == {"prompt_groups"}):
+            return None
+        groups = payload["prompt_groups"]
+        if not (isinstance(groups, dict) and groups):
+            return None
+        labels: List[int] = []
+        vectors: List[np.ndarray] = []
+        for key, vector in groups.items():
+            label = cls._canonical_int(key) if isinstance(key, str) else None
+            if label is None or not (isinstance(vector, np.ndarray) and vector.ndim == 1):
+                return None
+            labels.append(label)
+            vectors.append(vector)
+        if len({(v.dtype, v.shape) for v in vectors}) != 1:
+            return None
+        arrays = {
+            "lpg/labels": np.asarray(labels, dtype=np.int64),
+            "lpg/vectors": np.stack(vectors),
+        }
+        return arrays, ("reffil-lpg",)
+
+    @classmethod
+    def _flatten_store(cls, payload):
+        if not (isinstance(payload, dict) and payload):
+            return None
+        labels: List[int] = []
+        counts: List[int] = []
+        matrices: List[np.ndarray] = []
+        for key, matrix in payload.items():
+            if not (isinstance(key, str) and key.startswith("class_")):
+                return None
+            label = cls._canonical_int(key[len("class_"):])
+            if label is None or not (isinstance(matrix, np.ndarray) and matrix.ndim == 2):
+                return None
+            labels.append(label)
+            counts.append(matrix.shape[0])
+            matrices.append(matrix)
+        if len({(m.dtype, m.shape[1]) for m in matrices}) != 1:
+            return None
+        arrays = {
+            "gps/labels": np.asarray(labels, dtype=np.int64),
+            "gps/counts": np.asarray(counts, dtype=np.int64),
+            "gps/vectors": np.concatenate(matrices, axis=0),
+        }
+        return arrays, ("reffil-store",)
 
 
 class RefFiLMethod(FederatedMethod):
@@ -125,6 +224,10 @@ class RefFiLMethod(FederatedMethod):
     def import_client_state(self, client_id: int, state: np.ndarray) -> None:
         self.client_trainer.load_static_prompt(client_id, state)
 
+    def payload_codec(self) -> RefFiLPromptCodec:
+        """Prompt groups and the clustered store ship as stacked label/vector pairs."""
+        return RefFiLPromptCodec()
+
     def predict_logits(self, model: RefFiLModel, images: Tensor) -> Tensor:
         """Inference: condition on CDAP prompts generated without the task ID.
 
@@ -144,4 +247,4 @@ class RefFiLMethod(FederatedMethod):
         return model.backbone(images, Tensor(averaged))
 
 
-__all__ = ["RefFiLConfig", "RefFiLMethod"]
+__all__ = ["RefFiLConfig", "RefFiLMethod", "RefFiLPromptCodec"]

@@ -140,6 +140,10 @@ def scaled_config(
     dtype: str = "float64",
     eval_executor: str = "serial",
     eval_every: int = 0,
+    transport: str = "loopback",
+    codec: str = "identity",
+    bandwidth_limit: int = 0,
+    drop_stragglers: bool = False,
 ) -> ScaledExperimentConfig:
     """Build the full configuration for one dataset at one scale.
 
@@ -148,10 +152,15 @@ def scaled_config(
     performance knobs of the round execution engine: ``executor``
     (``"serial"`` / ``"parallel"``), ``num_workers`` (0 = one per CPU),
     ``shard_cache`` (per-worker client-shard cache of the parallel data
-    plane, default on), ``dtype`` (``"float64"`` / ``"float32"``), and the
+    plane, default on), ``dtype`` (``"float64"`` / ``"float32"``), the
     evaluation plane's ``eval_executor`` (``"serial"`` / ``"parallel"``
     seen-task evaluation) and ``eval_every`` (mid-task evaluation every ``k``
-    rounds, 0 = off).
+    rounds, 0 = off), and the communication plane's ``transport``
+    (``"loopback"`` measured wire frames / ``"direct"`` pass-through),
+    ``codec`` (``"identity"`` / ``"delta"`` lossless, ``"quantize8"`` /
+    ``"quantize16"`` / ``"topk[:f]"`` lossy), ``bandwidth_limit`` (per-client
+    uplink byte budget per round, 0 = unlimited) and ``drop_stragglers``
+    (drop vs. defer over-budget uploads).
     """
     scale = scale if scale is not None else get_scale()
     knobs = dict(_SCALE_KNOBS[scale])
@@ -197,6 +206,10 @@ def scaled_config(
         dtype=dtype,
         eval_executor=eval_executor,
         eval_every=eval_every,
+        transport=transport,
+        codec=codec,
+        bandwidth_limit=bandwidth_limit,
+        drop_stragglers=drop_stragglers,
     )
     return ScaledExperimentConfig(
         dataset_name=dataset_name,

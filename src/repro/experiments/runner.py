@@ -18,6 +18,7 @@ from repro.continual.scenario import DomainIncrementalScenario
 from repro.core.dpcl import DPCLConfig
 from repro.datasets.registry import build_dataset
 from repro.experiments.config import ScaledExperimentConfig
+from repro.federated.communication import codec_is_lossless
 from repro.federated.config import FederatedConfig
 from repro.federated.simulation import FederatedDomainIncrementalSimulation, SimulationResult
 from repro.utils.logging_utils import get_logger
@@ -52,13 +53,42 @@ def _normalize_execution_knobs(federated: FederatedConfig) -> FederatedConfig:
     asserted by the execution and eval-plane test suites), so two
     configurations differing only in those knobs must share one memoised
     run.  ``dtype`` genuinely changes the numbers and ``eval_every`` changes
-    the recorded ``round_eval_history``, so both stay in the key.  Caveat of
-    sharing: telemetry fields of the cached result (``wall_clock_seconds``)
-    describe whichever variant ran first — use the benches, not the run
-    cache, to compare executor performance.
+    the recorded ``round_eval_history``, so both stay in the key.
+
+    Communication-plane knobs follow the same rule: a *lossless* codec under
+    either transport trains the same numbers as no wire format at all (the
+    comm-plane suite asserts it bit-for-bit), so ``transport`` folds to
+    ``"loopback"`` and lossless codecs to ``"identity"``; a lossy codec or an
+    active bandwidth scenario (``bandwidth_limit > 0`` drops *or* defers
+    uploads, both of which change aggregation) genuinely changes the numbers
+    and stays in the key.  The ``direct`` transport never encodes, so its
+    codec/bandwidth knobs are inert and fold away entirely.  Caveat of
+    sharing: telemetry fields of the cached result (``wall_clock_seconds``,
+    the communication ledger) describe whichever variant ran first — use the
+    benches, not the run cache, to compare transports.
     """
+    codec = federated.codec
+    bandwidth_limit = federated.bandwidth_limit
+    drop_stragglers = federated.drop_stragglers
+    if federated.transport == "direct":
+        codec, bandwidth_limit, drop_stragglers = "identity", 0, False
+    if bandwidth_limit == 0:
+        drop_stragglers = False
+        # Folding lossless codecs together is only valid while no bandwidth
+        # budget is active: with a budget, drop/defer outcomes depend on the
+        # codec's frame sizes, so even lossless codecs change the numbers.
+        if codec_is_lossless(codec):
+            codec = "identity"
     return replace(
-        federated, executor="serial", num_workers=0, shard_cache=True, eval_executor="serial"
+        federated,
+        executor="serial",
+        num_workers=0,
+        shard_cache=True,
+        eval_executor="serial",
+        transport="loopback",
+        codec=codec,
+        bandwidth_limit=bandwidth_limit,
+        drop_stragglers=drop_stragglers,
     )
 
 

@@ -17,9 +17,26 @@ from repro.federated.increment import (
     ClientIncrementConfig,
     TaskAssignment,
 )
-from repro.federated.communication import ClientUpdate, CommunicationLedger
+from repro.federated.communication import (
+    ArrayCodec,
+    ClientUpdate,
+    CommunicationLedger,
+    FrameRecord,
+    PayloadCodec,
+    RoundCommRecord,
+    TreePayloadCodec,
+    WireFrame,
+    build_codec,
+    codec_is_lossless,
+)
 from repro.federated.client import ClientHandle, LocalTrainingConfig, ShardRef, run_local_sgd
 from repro.federated.server import BroadcastHandle, FederatedServer
+from repro.federated.transport import (
+    DirectTransport,
+    LoopbackTransport,
+    Transport,
+    build_transport,
+)
 from repro.federated.method import FederatedMethod
 from repro.federated.config import FederatedConfig
 from repro.federated.execution import (
@@ -46,6 +63,18 @@ __all__ = [
     "TaskAssignment",
     "ClientUpdate",
     "CommunicationLedger",
+    "ArrayCodec",
+    "FrameRecord",
+    "PayloadCodec",
+    "RoundCommRecord",
+    "TreePayloadCodec",
+    "WireFrame",
+    "build_codec",
+    "codec_is_lossless",
+    "Transport",
+    "DirectTransport",
+    "LoopbackTransport",
+    "build_transport",
     "ClientHandle",
     "LocalTrainingConfig",
     "ShardRef",

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.federated.client import LocalTrainingConfig
+from repro.federated.communication import build_codec
 from repro.federated.increment import ClientIncrementConfig
 
 
@@ -70,6 +71,33 @@ class FederatedConfig:
         reused for) the accuracy matrix's after-task evaluation: the two
         coincide only for methods whose ``on_task_end`` leaves the inference
         path untouched.
+    transport:
+        How broadcasts and uploads move (:mod:`repro.federated.transport`):
+        ``"loopback"`` (default) encodes every message into a real wire frame
+        through ``codec``, records *measured* frame lengths in the
+        communication ledger, and decodes before training/aggregation;
+        ``"direct"`` passes objects straight through with the legacy
+        ``nbytes``-estimate ledger (zero overhead, zero wire fidelity).
+    codec:
+        Wire codec of the loopback transport: ``"identity"`` (raw pickle) and
+        ``"delta"`` (sparse diff vs. the last acknowledged broadcast) are
+        lossless — results are bit-for-bit identical to ``"direct"``;
+        ``"quantize8"`` / ``"quantize16"`` (uniform per-tensor quantization)
+        and ``"topk"`` / ``"topk:<fraction>"`` (upload-only magnitude
+        sparsification) trade accuracy for bytes.  Ignored when
+        ``transport="direct"``.
+    bandwidth_limit:
+        Per-round uplink byte budget per client; ``0`` (default) is
+        unlimited.  Each client's effective budget is the limit scaled by a
+        deterministic per-client multiplier (drawn from the run seed), so
+        some clients are structurally slow — the constrained-device
+        straggler scenario.  Requires ``transport="loopback"``.
+    drop_stragglers:
+        What happens to an upload frame over its client's budget: ``True``
+        drops it (the update never aggregates; the download was still
+        charged), ``False`` (default) defers it to the next round's
+        aggregation (deferred frames expire at task boundaries).  A round
+        that would lose every upload always keeps the smallest frame.
     """
 
     increment: ClientIncrementConfig = field(default_factory=ClientIncrementConfig)
@@ -85,6 +113,10 @@ class FederatedConfig:
     dtype: str = "float64"
     eval_executor: str = "serial"
     eval_every: int = 0
+    transport: str = "loopback"
+    codec: str = "identity"
+    bandwidth_limit: int = 0
+    drop_stragglers: bool = False
 
     def __post_init__(self) -> None:
         if self.clients_per_round < 1:
@@ -103,6 +135,18 @@ class FederatedConfig:
             )
         if self.eval_every < 0:
             raise ValueError("eval_every must be non-negative (0 disables mid-task evaluation)")
+        if self.transport not in ("direct", "loopback"):
+            raise ValueError(
+                f"transport must be 'direct' or 'loopback', got {self.transport!r}"
+            )
+        build_codec(self.codec)  # raises ValueError on an unknown codec spec
+        if self.bandwidth_limit < 0:
+            raise ValueError("bandwidth_limit must be non-negative (0 means unlimited)")
+        if self.bandwidth_limit > 0 and self.transport != "loopback":
+            raise ValueError(
+                "bandwidth_limit requires transport='loopback' (the direct "
+                "transport never builds the frames a budget would apply to)"
+            )
         try:
             resolved = np.dtype(self.dtype)
         except TypeError as error:

@@ -568,7 +568,13 @@ class RoundIPC:
     ``method_bytes`` and ``broadcast_bytes`` count the blob size times the
     number of worker messages that embedded it (each pinned queue copies the
     shared bytes), so all three byte fields are comparable measures of actual
-    cross-process traffic.  Failed rounds are not logged.
+    cross-process traffic.  ``num_messages`` is that message count, so
+    ``broadcast_bytes / num_messages`` recovers the single broadcast blob
+    length — under the loopback transport's ``identity`` codec that blob *is*
+    the per-client broadcast wire frame, which is how the
+    :class:`~repro.federated.communication.CommunicationLedger` and this log
+    reconcile exactly where both observe the same traffic.  Failed rounds are
+    not logged.
     """
 
     task_id: int
@@ -578,6 +584,7 @@ class RoundIPC:
     shard_bytes: int
     shards_shipped: int
     cache_hits: int
+    num_messages: int = 0
 
 
 @dataclass(frozen=True)
@@ -734,6 +741,7 @@ class ParallelExecutor(Executor):
                 shard_bytes=shard_bytes,
                 shards_shipped=shards_shipped,
                 cache_hits=cache_hits,
+                num_messages=len(messages),
             )
         )
         gathered.sort(key=lambda item: item[0])

@@ -43,7 +43,7 @@ import numpy as np
 
 from repro.autograd.tensor import Tensor
 from repro.federated.client import ClientHandle
-from repro.federated.communication import ClientUpdate
+from repro.federated.communication import ClientUpdate, PayloadCodec, TreePayloadCodec
 from repro.federated.server import FederatedServer
 from repro.nn.module import Module
 
@@ -94,6 +94,20 @@ class FederatedMethod:
     def predict_logits(self, model: Module, images: Tensor) -> Tensor:
         """Inference path used by the evaluator (default: call the model directly)."""
         return model(images)
+
+    def payload_codec(self) -> PayloadCodec:
+        """How this method's payloads become named wire arrays.
+
+        The communication plane flattens broadcast and upload payloads into
+        flat ``name -> ndarray`` dicts so the configured wire codec applies
+        to them exactly as it does to model weights.  The default generic
+        tree walk handles any picklable payload; methods with a known payload
+        structure (RefFiL's per-class prompt groups) override this with a
+        specialised codec.  Whatever is returned, ``unflatten(flatten(p))``
+        must reproduce ``p`` exactly — the lossless-parity guarantee of
+        ``codec="identity"``/``"delta"`` rests on it.
+        """
+        return TreePayloadCodec()
 
     # ------------------------------------------------------------------ #
     # Cross-process client-state round-trip (default: stateless)

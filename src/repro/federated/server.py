@@ -57,6 +57,11 @@ class FederatedServer:
         self.global_state: Dict[str, np.ndarray] = model.state_dict()
         self.broadcast_payload: Dict[str, Any] = {}
         self.ledger = CommunicationLedger()
+        #: When True (standalone server use), :meth:`aggregate` records an
+        #: estimate-based ledger round itself.  A transport
+        #: (:mod:`repro.federated.transport`) owns the ledger instead — it
+        #: records measured wire frames per direction — and switches this off.
+        self.ledger_autorecord = True
         self.round_counter = 0
         self._broadcast_handle: Optional[BroadcastHandle] = None
 
@@ -99,7 +104,8 @@ class FederatedServer:
         )
         self.global_state = new_state
         self.model.load_state_dict(new_state)
-        self.ledger.record_round(updates, new_state, self.broadcast_payload)
+        if self.ledger_autorecord:
+            self.ledger.record_round(updates, new_state, self.broadcast_payload)
         self.round_counter += 1
         self._broadcast_handle = None
         return new_state

@@ -39,6 +39,7 @@ from repro.federated.increment import ClientGroup, ClientIncrementSchedule
 from repro.federated.method import FederatedMethod
 from repro.federated.sampling import sample_clients
 from repro.federated.server import FederatedServer
+from repro.federated.transport import build_transport
 from repro.utils.logging_utils import get_logger
 from repro.utils.rng import spawn_rng
 from repro.utils.timing import Timer
@@ -105,6 +106,20 @@ class FederatedDomainIncrementalSimulation:
             self.model = method.build_model()
         self.server = FederatedServer(self.model)
         self.schedule = ClientIncrementSchedule(config.increment)
+        # The communication plane: every round's broadcast and uploads move
+        # through the transport, which owns the server's ledger (measured
+        # wire frames on the loopback transport, the legacy estimate on the
+        # direct one) — so the server must not also record estimate rounds.
+        self.transport = build_transport(
+            config.transport,
+            config.codec,
+            ledger=self.server.ledger,
+            payload_codec=method.payload_codec(),
+            seed=config.seed,
+            bandwidth_limit=config.bandwidth_limit,
+            drop_stragglers=config.drop_stragglers,
+        )
+        self.server.ledger_autorecord = False
         self.executor = build_executor(config.executor, config.num_workers, config.shard_cache)
         # The evaluation plane: when eval_executor="parallel", seen-task
         # evaluation fans over a pinned worker pool — the training executor's
@@ -228,11 +243,21 @@ class FederatedDomainIncrementalSimulation:
             )
             for client_id in selected
         ]
-        # One shared read-only broadcast per round (zero per-client copies).
+        # One shared read-only broadcast per round (zero per-client copies),
+        # delivered through the transport: clients train from the *decoded*
+        # broadcast frame (identical to the server state for lossless codecs,
+        # the dequantized state for lossy ones).
         with self.timer.measure("broadcast"):
-            broadcast = self.server.broadcast_view()
+            broadcast = self.transport.broadcast_round(
+                self.server, selected, task.task_id, round_index
+            )
         with self.timer.measure("local_update"):
             updates = self.executor.run_round(self.method, self.model, broadcast, handles)
+        # Decode-before-aggregate: uploads become wire frames, the bandwidth
+        # scenario drops/defers stragglers, and aggregation sees exactly what
+        # arrived (plus any deferred uploads from the previous round).
+        with self.timer.measure("uplink"):
+            updates = self.transport.collect_updates(updates)
         with self.timer.measure("aggregate"):
             self.method.aggregate(self.server, updates)
         # server.aggregate() invalidates the cached broadcast itself, but a
@@ -317,6 +342,7 @@ class FederatedDomainIncrementalSimulation:
 
     def close(self) -> None:
         """Release executor resources (worker pools); idempotent."""
+        self.transport.finalize()
         self.executor.close()
         if self._owns_eval_executor and self.eval_executor is not None:
             self.eval_executor.close()

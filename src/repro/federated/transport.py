@@ -1,0 +1,411 @@
+"""Pluggable transports: how broadcasts and uploads actually move.
+
+A :class:`Transport` sits between the simulation loop and the server on both
+directions of every communication round:
+
+* :meth:`Transport.broadcast_round` turns the server's global state (plus the
+  method's broadcast payload) into per-client wire frames, records their
+  measured sizes in the :class:`~repro.federated.communication.CommunicationLedger`,
+  and returns the :class:`~repro.federated.server.BroadcastHandle` the
+  clients train from — built over the *decoded* frames, so lossy codecs
+  train against exactly what a constrained device would have received;
+* :meth:`Transport.collect_updates` encodes every client's
+  :class:`~repro.federated.communication.ClientUpdate` into an upload frame,
+  applies the bandwidth scenario (per-client budgets, drop-or-defer
+  stragglers), decodes what arrives, and hands the surviving updates to
+  aggregation — decode-before-aggregate.
+
+Two implementations:
+
+* :class:`DirectTransport` (``transport="direct"``) — no frames at all:
+  objects pass straight through and the ledger falls back to the legacy
+  ``nbytes`` estimate.  Zero overhead, zero measurement fidelity.
+* :class:`LoopbackTransport` (``transport="loopback"``, the default) — every
+  message is really encoded through the configured
+  :class:`~repro.federated.communication.ArrayCodec`; ledger numbers are
+  actual frame lengths.  The ``identity`` codec short-circuits the decode
+  (its round-trip is the pickle the executor already performs), so the
+  default configuration is bit-for-bit and allocation-identical to the
+  pre-transport engine while still measuring real frames.
+
+Delta acknowledgements: the downlink ``delta`` codec encodes each client's
+frame against the last broadcast that client received (clients selected in
+different past rounds hold different references; unseen clients get a dense
+frame).  Encoder and decoder share the reference object in-process, so the
+diff chain can never desynchronise in simulation.
+
+Bandwidth scenario: with ``bandwidth_limit > 0`` every client gets a
+deterministic per-run uplink budget — the limit scaled by a multiplier drawn
+from ``spawn_rng(seed, "bandwidth", client_id)`` — so some clients are
+structurally slow.  An over-budget upload frame is *dropped* when
+``drop_stragglers=True`` (it never aggregates; the ledger still charged the
+client's download) or *deferred* otherwise (it arrives with the next round's
+uploads and aggregates late; deferred frames left over at a task boundary
+expire).  If a round would lose every upload, the smallest frame is
+delivered anyway — a server that aggregates nothing is not a round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.federated.communication import (
+    ArrayCodec,
+    ClientUpdate,
+    CommunicationLedger,
+    FrameRecord,
+    IdentityCodec,
+    PayloadCodec,
+    RoundCommRecord,
+    TreePayloadCodec,
+    WireFrame,
+    build_codec,
+    decode_frame,
+    encode_frame,
+)
+from repro.federated.server import BroadcastHandle, FederatedServer
+from repro.utils.rng import spawn_rng
+
+_STATE_PREFIX = "s::"
+_PAYLOAD_PREFIX = "p::"
+
+
+def _flatten_message(
+    state: Dict[str, np.ndarray], payload: Any, payload_codec: PayloadCodec
+) -> Tuple[Dict[str, np.ndarray], Any]:
+    """Merge model state and payload arrays into one namespaced flat dict."""
+    payload_arrays, skeleton = payload_codec.flatten(payload)
+    arrays: Dict[str, np.ndarray] = {
+        _STATE_PREFIX + key: value for key, value in state.items()
+    }
+    for name, value in payload_arrays.items():
+        arrays[_PAYLOAD_PREFIX + name] = value
+    return arrays, skeleton
+
+
+def _split_message(
+    arrays: Dict[str, np.ndarray], skeleton: Any, payload_codec: PayloadCodec
+) -> Tuple[Dict[str, np.ndarray], Any]:
+    """Inverse of :func:`_flatten_message`."""
+    state = {
+        key[len(_STATE_PREFIX):]: value
+        for key, value in arrays.items()
+        if key.startswith(_STATE_PREFIX)
+    }
+    payload_arrays = {
+        key[len(_PAYLOAD_PREFIX):]: value
+        for key, value in arrays.items()
+        if key.startswith(_PAYLOAD_PREFIX)
+    }
+    return state, payload_codec.unflatten(payload_arrays, skeleton)
+
+
+class Transport:
+    """Strategy moving one round's broadcast and uploads; see module docstring."""
+
+    name: str = "abstract"
+
+    def __init__(self, ledger: CommunicationLedger) -> None:
+        self.ledger = ledger
+
+    def broadcast_round(
+        self,
+        server: FederatedServer,
+        selected: Sequence[int],
+        task_id: int,
+        round_index: int,
+    ) -> BroadcastHandle:
+        """Deliver the round's broadcast; returns the handle clients train from."""
+        raise NotImplementedError
+
+    def collect_updates(self, updates: List[ClientUpdate]) -> List[ClientUpdate]:
+        """Deliver the round's uploads; returns the updates that reach aggregation."""
+        raise NotImplementedError
+
+    def finalize(self) -> None:
+        """Account anything still in flight when the run ends (idempotent)."""
+
+
+class DirectTransport(Transport):
+    """No wire format: pass-through objects, ledger from ``nbytes`` estimates."""
+
+    name = "direct"
+
+    def __init__(self, ledger: CommunicationLedger) -> None:
+        super().__init__(ledger)
+        self._pending: Optional[Tuple[int, Dict[str, np.ndarray], Any]] = None
+
+    def broadcast_round(self, server, selected, task_id, round_index):
+        handle = server.broadcast_view()
+        self._pending = (len(selected), server.global_state, server.broadcast_payload)
+        return handle
+
+    def collect_updates(self, updates):
+        if self._pending is None:
+            raise RuntimeError("collect_updates called before broadcast_round")
+        num_selected, state, payload = self._pending
+        self._pending = None
+        self.ledger.record_round(updates, state, payload, num_selected=num_selected)
+        return updates
+
+
+@dataclass
+class _PendingRound:
+    """Everything :meth:`LoopbackTransport.collect_updates` needs from broadcast time."""
+
+    task_id: int
+    round_index: int
+    selected: Tuple[int, ...]
+    broadcast_frames: List[FrameRecord]
+    #: The flat (namespaced) arrays the selected clients received this round —
+    #: the uplink reference for diff-style codecs and the next downlink ack.
+    received: Dict[str, np.ndarray]
+
+
+@dataclass
+class _DeferredUpload:
+    """An over-budget upload in flight to the next round's aggregation."""
+
+    update: ClientUpdate
+    num_bytes: int
+
+
+class LoopbackTransport(Transport):
+    """In-process wire transport: encode, measure, decode every message."""
+
+    name = "loopback"
+
+    def __init__(
+        self,
+        ledger: CommunicationLedger,
+        codec: ArrayCodec,
+        payload_codec: Optional[PayloadCodec] = None,
+        seed: int = 0,
+        bandwidth_limit: int = 0,
+        drop_stragglers: bool = False,
+    ) -> None:
+        super().__init__(ledger)
+        self.codec = codec
+        # Sparsifying a full-model broadcast against nothing would destroy
+        # it; non-broadcast-safe codecs (topk) ride identity frames downlink
+        # and only sparsify the uplink.
+        self.down_codec = codec if codec.broadcast_safe else IdentityCodec()
+        self.payload_codec = payload_codec if payload_codec is not None else TreePayloadCodec()
+        self.seed = seed
+        self.bandwidth_limit = bandwidth_limit
+        self.drop_stragglers = drop_stragglers
+        self._ack: Dict[int, Dict[str, np.ndarray]] = {}
+        self._budgets: Dict[int, int] = {}
+        self._pending: Optional[_PendingRound] = None
+        self._deferred: List[_DeferredUpload] = []
+        self._last_task_id: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # Bandwidth scenario
+    # ------------------------------------------------------------------ #
+    def budget_for(self, client_id: int) -> Optional[int]:
+        """The client's deterministic per-round uplink byte budget (None = unlimited)."""
+        if self.bandwidth_limit <= 0:
+            return None
+        if client_id not in self._budgets:
+            multiplier = spawn_rng(self.seed, "bandwidth", client_id).uniform(0.6, 1.4)
+            self._budgets[client_id] = max(1, int(self.bandwidth_limit * multiplier))
+        return self._budgets[client_id]
+
+    # ------------------------------------------------------------------ #
+    # Downlink
+    # ------------------------------------------------------------------ #
+    def broadcast_round(self, server, selected, task_id, round_index):
+        if self._pending is not None:
+            raise RuntimeError(
+                "broadcast_round called with a round still pending; "
+                "collect_updates must consume the previous round first"
+            )
+        if self._last_task_id is not None and task_id != self._last_task_id and self._deferred:
+            # Deferred uploads do not survive a task boundary: the domain (and
+            # the aggregation they would join) has moved on.
+            self.ledger.record_expired_uploads(len(self._deferred))
+            self._deferred.clear()
+        self._last_task_id = task_id
+
+        handle = server.broadcast_view()
+        flat, skeleton = _flatten_message(handle.state, handle.payload, self.payload_codec)
+
+        frames: List[FrameRecord] = []
+        decoded_handle: Optional[BroadcastHandle] = None
+        received: Optional[Dict[str, np.ndarray]] = None
+        if isinstance(self.down_codec, IdentityCodec):
+            # The identity frame body IS the handle's cached serialization —
+            # the exact blob the parallel executor ships to its workers, so
+            # ledger and RoundIPC observe the same bytes — and its round-trip
+            # is a pickle cycle, so the decode is short-circuited to the
+            # server's own handle (bit-for-bit by construction).
+            body = handle.serialized()
+            frames.extend(FrameRecord(cid, len(body)) for cid in selected)
+            decoded_handle = handle
+            received = flat
+        else:
+            # Group clients by the reference they hold: one frame per distinct
+            # acknowledgement (codecs that ignore the reference form a single
+            # group).  Lossless diff codecs decode to identical content for
+            # every group, so one decode serves the whole round.
+            groups: Dict[int, Tuple[Optional[Dict[str, np.ndarray]], List[int]]] = {}
+            for cid in selected:
+                ref = self._ack.get(cid) if self.down_codec.uses_reference else None
+                key = id(ref) if ref is not None else 0
+                groups.setdefault(key, (ref, []))[1].append(cid)
+            for ref, members in groups.values():
+                frame = encode_frame("broadcast", self.down_codec, flat, skeleton, ref)
+                frames.extend(FrameRecord(cid, frame.num_bytes) for cid in members)
+                if decoded_handle is None:
+                    arrays, meta = decode_frame(frame, self.down_codec, ref)
+                    state, payload = _split_message(arrays, meta, self.payload_codec)
+                    decoded_handle = BroadcastHandle(state, payload)
+                    received = arrays
+        frames.sort(key=lambda record: record.client_id)
+
+        for cid in selected:
+            self._ack[cid] = received
+        self._pending = _PendingRound(
+            task_id=task_id,
+            round_index=round_index,
+            selected=tuple(selected),
+            broadcast_frames=frames,
+            received=received,
+        )
+        return decoded_handle
+
+    # ------------------------------------------------------------------ #
+    # Uplink
+    # ------------------------------------------------------------------ #
+    def _encode_update(
+        self, update: ClientUpdate, reference: Dict[str, np.ndarray]
+    ) -> WireFrame:
+        arrays, skeleton = _flatten_message(
+            update.state_dict, update.payload, self.payload_codec
+        )
+        meta = {
+            "client_id": update.client_id,
+            "num_samples": update.num_samples,
+            "train_loss": update.train_loss,
+            "metrics": update.metrics,
+            "skeleton": skeleton,
+        }
+        return encode_frame("upload", self.codec, arrays, meta, reference)
+
+    def _decode_update(
+        self, frame: WireFrame, reference: Dict[str, np.ndarray]
+    ) -> ClientUpdate:
+        arrays, meta = decode_frame(frame, self.codec, reference)
+        state, payload = _split_message(arrays, meta["skeleton"], self.payload_codec)
+        return ClientUpdate(
+            client_id=meta["client_id"],
+            state_dict=state,
+            num_samples=meta["num_samples"],
+            payload=payload,
+            train_loss=meta["train_loss"],
+            metrics=meta["metrics"],
+        )
+
+    def collect_updates(self, updates):
+        if self._pending is None:
+            raise RuntimeError("collect_updates called before broadcast_round")
+        pending = self._pending
+        self._pending = None
+        identity = isinstance(self.codec, IdentityCodec)
+
+        delivered: List[ClientUpdate] = []
+        frames: List[FrameRecord] = []
+        over_budget: List[Tuple[ClientUpdate, WireFrame]] = []
+        for update in updates:
+            frame = self._encode_update(update, pending.received)
+            budget = self.budget_for(update.client_id)
+            if budget is not None and frame.num_bytes > budget:
+                over_budget.append((update, frame))
+                continue
+            frames.append(FrameRecord(update.client_id, frame.num_bytes))
+            delivered.append(
+                update if identity else self._decode_update(frame, pending.received)
+            )
+
+        # Last round's deferred stragglers arrive with this round's uploads.
+        arrivals = [item for item in self._deferred]
+        self._deferred.clear()
+        for item in arrivals:
+            frames.append(FrameRecord(item.update.client_id, item.num_bytes, "deferred"))
+            delivered.append(item.update)
+
+        if not delivered and over_budget:
+            # Keep-one rule: a round must aggregate something.  Deliver the
+            # smallest over-budget frame (deterministic tiebreak by id).
+            over_budget.sort(key=lambda pair: (pair[1].num_bytes, pair[0].client_id))
+            update, frame = over_budget.pop(0)
+            frames.append(FrameRecord(update.client_id, frame.num_bytes))
+            delivered.insert(
+                0, update if identity else self._decode_update(frame, pending.received)
+            )
+        for update, frame in over_budget:
+            if self.drop_stragglers:
+                frames.append(FrameRecord(update.client_id, frame.num_bytes, "dropped"))
+            else:
+                decoded = update if identity else self._decode_update(frame, pending.received)
+                self._deferred.append(_DeferredUpload(decoded, frame.num_bytes))
+
+        frames.sort(key=lambda record: (record.status != "ok", record.client_id))
+        self.ledger.record_measured_round(
+            RoundCommRecord(
+                task_id=pending.task_id,
+                round_index=pending.round_index,
+                codec=self.codec.name,
+                broadcast_frames=tuple(pending.broadcast_frames),
+                upload_frames=tuple(frames),
+            )
+        )
+        return delivered
+
+    def finalize(self) -> None:
+        """Expire deferred uploads still in flight when the run ends.
+
+        Without this, an upload deferred in the very last round would vanish
+        from the accounting entirely — neither delivered, dropped nor
+        expired — and delivered + dropped + expired would no longer cover
+        every encoded upload.
+        """
+        if self._deferred:
+            self.ledger.record_expired_uploads(len(self._deferred))
+            self._deferred.clear()
+
+
+def build_transport(
+    transport: str,
+    codec: str,
+    ledger: CommunicationLedger,
+    payload_codec: Optional[PayloadCodec] = None,
+    seed: int = 0,
+    bandwidth_limit: int = 0,
+    drop_stragglers: bool = False,
+) -> Transport:
+    """Construct a transport from the :class:`FederatedConfig` knobs."""
+    if transport == "direct":
+        return DirectTransport(ledger)
+    if transport == "loopback":
+        return LoopbackTransport(
+            ledger=ledger,
+            codec=build_codec(codec),
+            payload_codec=payload_codec,
+            seed=seed,
+            bandwidth_limit=bandwidth_limit,
+            drop_stragglers=drop_stragglers,
+        )
+    raise ValueError(f"unknown transport {transport!r}; choose 'direct' or 'loopback'")
+
+
+__all__ = [
+    "Transport",
+    "DirectTransport",
+    "LoopbackTransport",
+    "build_transport",
+]

@@ -1,0 +1,57 @@
+"""The example scripts are public entry points — they must not silently rot.
+
+Every example is smoke-imported (its module level executes: imports, constants,
+function definitions), and ``quickstart.py`` — the smallest end-to-end use of
+the public API — actually runs as a subprocess in the ``slow`` tier, asserting
+it exits cleanly and prints the paper's metrics.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+
+def _example_env() -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+def test_examples_exist():
+    names = {path.name for path in EXAMPLES}
+    assert {"quickstart.py", "compare_methods_pacs.py", "prompt_clustering_demo.py"} <= names
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda path: path.stem)
+def test_example_imports_cleanly(path):
+    """Module level must execute (its ``main()`` stays behind ``__main__``)."""
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert callable(getattr(module, "main", None)), f"{path.name} must define main()"
+
+
+@pytest.mark.slow
+def test_quickstart_runs_end_to_end():
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "examples" / "quickstart.py")],
+        env=_example_env(),
+        capture_output=True,
+        text=True,
+        timeout=900,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "Avg  accuracy" in result.stdout
+    assert "total communication" in result.stdout
