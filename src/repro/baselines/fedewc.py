@@ -22,6 +22,7 @@ import numpy as np
 from repro.autograd import functional as F
 from repro.autograd.tensor import Tensor
 from repro.baselines.base import BaselineConfig, CrossEntropyFederatedMethod
+from repro.federated.aggregation import weighted_average_arrays
 from repro.federated.client import ClientHandle
 from repro.federated.communication import ClientUpdate
 from repro.federated.server import FederatedServer
@@ -126,6 +127,35 @@ class FedEWCMethod(CrossEntropyFederatedMethod):
             for name, value in server.global_state.items()
             if not name.startswith("buffer::")
         }
+
+    def apply_async_update(
+        self, server: FederatedServer, update: ClientUpdate, mixing: float
+    ) -> None:
+        """Async arrivals blend the Fisher information too.
+
+        The base hook replays :meth:`aggregate` on a single-arrival round,
+        where the cohort mean degenerates to the one client's Fisher — a
+        last-writer-wins overwrite of the population estimate.  The FedAsync
+        analogue of the sync-mode cohort average is an exponential moving
+        average at the arrival's mixing rate, so a stale or lone client
+        nudges the global Fisher instead of replacing it.  The anchor needs
+        no such treatment: it tracks the (already blended) global state.
+        """
+        prior = self._fisher
+        super().apply_async_update(server, update, mixing)
+        fresh = self._fisher
+        if (
+            prior is not None
+            and fresh is not None
+            and fresh is not prior  # the arrival actually carried a Fisher
+            and set(prior) == set(fresh)
+        ):
+            self._fisher = {
+                name: weighted_average_arrays(
+                    [prior[name], fresh[name]], [1.0 - mixing, mixing]
+                )
+                for name in fresh
+            }
 
     @property
     def has_penalty(self) -> bool:

@@ -144,6 +144,11 @@ def scaled_config(
     codec: str = "identity",
     bandwidth_limit: int = 0,
     drop_stragglers: bool = False,
+    mode: str = "sync",
+    device_profile: str = "instant",
+    buffer_size: int = 0,
+    staleness_decay: float = 0.5,
+    sim_time_limit: float = 0.0,
 ) -> ScaledExperimentConfig:
     """Build the full configuration for one dataset at one scale.
 
@@ -160,7 +165,13 @@ def scaled_config(
     ``codec`` (``"identity"`` / ``"delta"`` lossless, ``"quantize8"`` /
     ``"quantize16"`` / ``"topk[:f]"`` lossy), ``bandwidth_limit`` (per-client
     uplink byte budget per round, 0 = unlimited) and ``drop_stragglers``
-    (drop vs. defer over-budget uploads).
+    (drop vs. defer over-budget uploads), and the temporal plane's ``mode``
+    (``"sync"`` / ``"async"`` / ``"buffered"``), ``device_profile``
+    (``"instant"`` / ``"homogeneous"`` / ``"mild"`` / ``"moderate"`` /
+    ``"extreme"`` heterogeneity tiers), ``buffer_size`` (buffered mode's K,
+    0 = clients_per_round), ``staleness_decay`` (polynomial staleness
+    exponent) and ``sim_time_limit`` (simulated-seconds budget, 0 =
+    unlimited).
     """
     scale = scale if scale is not None else get_scale()
     knobs = dict(_SCALE_KNOBS[scale])
@@ -210,6 +221,11 @@ def scaled_config(
         codec=codec,
         bandwidth_limit=bandwidth_limit,
         drop_stragglers=drop_stragglers,
+        mode=mode,
+        device_profile=device_profile,
+        buffer_size=buffer_size,
+        staleness_decay=staleness_decay,
+        sim_time_limit=sim_time_limit,
     )
     return ScaledExperimentConfig(
         dataset_name=dataset_name,

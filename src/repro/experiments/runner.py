@@ -79,6 +79,24 @@ def _normalize_execution_knobs(federated: FederatedConfig) -> FederatedConfig:
         # codec's frame sizes, so even lossless codecs change the numbers.
         if codec_is_lossless(codec):
             codec = "identity"
+    # Temporal-plane knobs: mode and device_profile always stay in the key —
+    # async/buffered modes change the trained numbers outright, and even a
+    # sync run whose *numbers* a different tier would not change (an
+    # always-online tier only times the run) produces different temporal
+    # telemetry (sim_time, event_log, the sim_time of every eval snapshot),
+    # which is exactly the output a caller varying the tier is after.  Only
+    # knobs that are provably inert fold: buffered/staleness knobs in sync
+    # mode, and a simulated-time budget under the instant tier (the clock
+    # never advances, so the budget never bites and no trace records it).
+    sim_time_limit = federated.sim_time_limit
+    buffer_size = federated.buffer_size
+    staleness_decay = federated.staleness_decay
+    if federated.mode != "buffered":
+        buffer_size = 0
+    if federated.mode == "sync":
+        staleness_decay = FederatedConfig.staleness_decay
+    if federated.device_profile == "instant":
+        sim_time_limit = 0.0
     return replace(
         federated,
         executor="serial",
@@ -89,6 +107,9 @@ def _normalize_execution_knobs(federated: FederatedConfig) -> FederatedConfig:
         codec=codec,
         bandwidth_limit=bandwidth_limit,
         drop_stragglers=drop_stragglers,
+        buffer_size=buffer_size,
+        staleness_decay=staleness_decay,
+        sim_time_limit=sim_time_limit,
     )
 
 
@@ -150,8 +171,12 @@ def run_method_on_dataset(
     logger.info(
         "running %s on %s (%s)", method.name, config.dataset_name, config.describe()
     )
-    simulation = FederatedDomainIncrementalSimulation(scenario, method, config.federated)
-    outcome = simulation.run()
+    # run() tears its own resources down, but only on the paths it controls;
+    # the context manager guarantees both worker pools (training and any
+    # dedicated eval pool) are shut down even if construction-adjacent code
+    # between enter and run raises.
+    with FederatedDomainIncrementalSimulation(scenario, method, config.federated) as simulation:
+        outcome = simulation.run()
     result = MethodRunResult(
         method_name=method.name,
         dataset_name=config.dataset_name,

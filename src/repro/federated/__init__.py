@@ -9,8 +9,17 @@ that drives any :class:`repro.federated.method.FederatedMethod` (RefFiL or a
 baseline) over a continual scenario.
 """
 
-from repro.federated.aggregation import fedavg, weighted_average_arrays
-from repro.federated.sampling import sample_clients
+from repro.federated.aggregation import blend_states, fedavg, staleness_weight, weighted_average_arrays
+from repro.federated.sampling import NoAvailableClientsError, sample_clients
+from repro.federated.clock import (
+    CostModel,
+    DeviceProfile,
+    Event,
+    EventScheduler,
+    PROFILE_TIERS,
+    build_profile,
+)
+from repro.federated.async_plane import ASYNC_MIXING, TemporalPlaneRunner
 from repro.federated.increment import (
     ClientGroup,
     ClientIncrementSchedule,
@@ -55,8 +64,19 @@ from repro.federated.simulation import FederatedDomainIncrementalSimulation, Sim
 
 __all__ = [
     "fedavg",
+    "blend_states",
+    "staleness_weight",
     "weighted_average_arrays",
     "sample_clients",
+    "NoAvailableClientsError",
+    "CostModel",
+    "DeviceProfile",
+    "Event",
+    "EventScheduler",
+    "PROFILE_TIERS",
+    "build_profile",
+    "ASYNC_MIXING",
+    "TemporalPlaneRunner",
     "ClientGroup",
     "ClientIncrementSchedule",
     "ClientIncrementConfig",

@@ -7,9 +7,24 @@ data-size-weighted average of the selected participants' local models,
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
+
+
+def staleness_weight(staleness: float, decay: float) -> float:
+    """Polynomial staleness discount of FedAsync (Xie et al., 2019).
+
+    ``(1 + staleness) ** (-decay)``: exactly ``1.0`` at staleness 0 and
+    monotone non-increasing in staleness for any ``decay >= 0`` (``decay=0``
+    disables the discount entirely).  ``staleness`` counts how many times the
+    global model advanced between a client's dispatch and its arrival.
+    """
+    if staleness < 0:
+        raise ValueError(f"staleness must be non-negative, got {staleness!r}")
+    if decay < 0:
+        raise ValueError(f"staleness decay must be non-negative, got {decay!r}")
+    return float((1.0 + float(staleness)) ** (-float(decay)))
 
 
 def weighted_average_arrays(arrays: Sequence[np.ndarray], weights: Sequence[float]) -> np.ndarray:
@@ -41,14 +56,43 @@ def weighted_average_arrays(arrays: Sequence[np.ndarray], weights: Sequence[floa
     return result
 
 
+def blend_states(
+    base: Dict[str, np.ndarray],
+    update: Dict[str, np.ndarray],
+    mixing: float,
+) -> Dict[str, np.ndarray]:
+    """FedAsync's per-arrival blend over flat state dicts: ``(1-m) base + m update``.
+
+    ``mixing`` must be in ``(0, 1]`` — typically a base rate discounted by
+    :func:`staleness_weight`.  The blend runs through
+    :func:`weighted_average_arrays`, so a float32 pipeline stays float32 (no
+    silent upcast through the python-float coefficients).  The single source
+    of the blend used by both :meth:`FederatedServer.apply_update` and
+    :meth:`FederatedMethod.apply_async_update`.
+    """
+    if not 0.0 < mixing <= 1.0:
+        raise ValueError(f"mixing rate must be in (0, 1], got {mixing!r}")
+    if set(update) != set(base):
+        raise ValueError("blended update has mismatching parameter names")
+    return {
+        key: weighted_average_arrays([base[key], update[key]], [1.0 - mixing, mixing])
+        for key in base
+    }
+
+
 def fedavg(
     state_dicts: Sequence[Dict[str, np.ndarray]],
     num_samples: Sequence[int],
+    scale: Optional[Sequence[float]] = None,
 ) -> Dict[str, np.ndarray]:
     """Data-size-weighted FedAvg over client state dicts.
 
     Every state dict must contain exactly the same keys (they all originate
-    from broadcasting the same global model).
+    from broadcasting the same global model).  ``scale`` optionally multiplies
+    each client's sample weight by a non-negative factor — the temporal
+    plane's staleness-aware aggregation passes ``staleness_weight(...)`` per
+    update here, so a stale upload counts for less than a fresh one of the
+    same size.  ``scale=None`` (the default) is plain FedAvg, bit-for-bit.
     """
     if len(state_dicts) == 0:
         raise ValueError("fedavg requires at least one client update")
@@ -59,6 +103,12 @@ def fedavg(
         if set(state) != reference_keys:
             raise ValueError(f"client update {index} has mismatching parameter names")
     weights = [float(max(n, 0)) for n in num_samples]
+    if scale is not None:
+        if len(scale) != len(state_dicts):
+            raise ValueError("scale and state_dicts must have equal length")
+        if any(factor < 0 for factor in scale):
+            raise ValueError("scale factors must be non-negative")
+        weights = [weight * float(factor) for weight, factor in zip(weights, scale)]
     if sum(weights) <= 0:
         # Degenerate case (all clients report zero samples): fall back to uniform.
         weights = [1.0] * len(state_dicts)
@@ -68,4 +118,4 @@ def fedavg(
     return aggregated
 
 
-__all__ = ["fedavg", "weighted_average_arrays"]
+__all__ = ["blend_states", "fedavg", "staleness_weight", "weighted_average_arrays"]

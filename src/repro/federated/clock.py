@@ -1,0 +1,264 @@
+"""The temporal plane's clock: simulated time, device profiles, cost model.
+
+Real cross-device federations are never the instantaneous, always-online
+population the synchronous round loop implies: devices differ in compute
+speed and link quality, go offline between rounds, and sometimes sit out a
+whole task.  This module provides the three deterministic primitives the
+temporal plane (:mod:`repro.federated.async_plane`) is built from:
+
+* :class:`EventScheduler` — a discrete-event queue over a simulated
+  wall-clock.  Events are ordered by ``(time, seq)`` where ``seq`` is the
+  scheduling order, so the pop sequence is a pure function of the schedule
+  calls — ties never depend on hash order or wall time, and two runs with
+  the same seed replay the exact same event trace.  An event can only be
+  scheduled at or after the current clock (``delay >= 0``), which is the
+  causality invariant the property tests enforce: nothing ever runs before
+  the event that caused it.
+* :class:`DeviceProfile` — one client's system heterogeneity: a compute
+  speed multiplier, an uplink/downlink rate, a seeded per-round availability
+  trace and per-task join/leave churn.  All randomness derives from
+  ``spawn_rng(seed, "device", client_id, ...)``, so a client's profile and
+  its online/offline trace are properties of the run seed, not of execution
+  order.  Profiles come in named tiers (``device_profile`` config knob):
+  ``instant`` (the default: zero cost, always online — the temporal no-op
+  that keeps ``mode="sync"`` bit-for-bit identical to the untimed engine),
+  ``homogeneous`` (uniform finite speeds), and the heterogeneity ladder
+  ``mild`` / ``moderate`` / ``extreme``.
+* :class:`CostModel` — turns a client's *measured* work into simulated
+  seconds: training cost is batches x epochs at the profile's per-step speed,
+  communication cost is the communication plane's measured frame bytes over
+  the profile's link rate.  Nothing is sampled here; the same work always
+  costs the same simulated time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from repro.utils.rng import spawn_rng
+
+
+@dataclass(frozen=True)
+class Event:
+    """One scheduled occurrence on the simulated clock.
+
+    Ordering is ``(time, seq)``: ``seq`` is assigned monotonically at
+    scheduling time, so simultaneous events pop in the order they were
+    scheduled — a deterministic tie-break that makes the whole event trace a
+    function of the schedule calls alone.
+    """
+
+    time: float
+    seq: int
+    kind: str
+    client_id: int = -1
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def sort_key(self) -> Tuple[float, int]:
+        return (self.time, self.seq)
+
+
+class EventScheduler:
+    """Deterministic discrete-event queue with a simulated wall-clock.
+
+    ``now`` only moves forward: :meth:`pop` advances it to the popped event's
+    time, :meth:`advance` moves it explicitly (the sync mode's per-round
+    barrier).  :meth:`schedule` takes a non-negative *delay* from ``now``, so
+    an event caused by another event can never be scheduled before its cause.
+    """
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._seq = 0
+        self._heap: List[Tuple[Tuple[float, int], Event]] = []
+
+    def schedule(self, delay: float, kind: str, client_id: int = -1, **data: Any) -> Event:
+        """Schedule ``kind`` to occur ``delay`` simulated seconds from now."""
+        if not (delay >= 0.0):  # also rejects NaN
+            raise ValueError(f"event delay must be non-negative, got {delay!r}")
+        event = Event(time=self.now + delay, seq=self._seq, kind=kind, client_id=client_id, data=dict(data))
+        self._seq += 1
+        heapq.heappush(self._heap, (event.sort_key(), event))
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event, advancing the clock to it."""
+        if not self._heap:
+            raise IndexError("pop from an empty event queue")
+        _, event = heapq.heappop(self._heap)
+        self.now = event.time
+        return event
+
+    def advance(self, delta: float) -> float:
+        """Move the clock forward by ``delta`` seconds; returns the new time."""
+        if not (delta >= 0.0):
+            raise ValueError(f"clock can only advance forward, got delta {delta!r}")
+        self.now += delta
+        return self.now
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def empty(self) -> bool:
+        return not self._heap
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """One client's system-heterogeneity parameters.
+
+    ``compute_multiplier`` scales the cost model's per-step seconds (``0.0``
+    = instantaneous compute); ``link_rate`` is bytes per simulated second
+    (``inf`` = instantaneous transfers); ``availability`` is the probability
+    the device is online at any given selection point; ``churn`` is the
+    probability the device sits out an entire task (the join/leave dynamic).
+    The online/offline decisions are a deterministic trace derived from
+    ``spawn_rng(seed, "device", client_id, ...)`` — see :meth:`is_online`.
+    """
+
+    client_id: int
+    compute_multiplier: float
+    link_rate: float
+    availability: float = 1.0
+    churn: float = 0.0
+
+    @property
+    def always_online(self) -> bool:
+        return self.availability >= 1.0 and self.churn <= 0.0
+
+    def in_task(self, seed: int, task_id: int) -> bool:
+        """The churn trace: did this device sit out the whole task?
+
+        Evaluated once per task — a churned-out device is offline for every
+        selection point of it.  A pure function of ``(seed, client_id,
+        task_id)``.
+        """
+        if self.churn <= 0.0:
+            return True
+        churn_draw = spawn_rng(seed, "device", self.client_id, "churn", task_id).random()
+        return churn_draw >= self.churn
+
+    def available_at(self, seed: int, task_id: int, slot: int) -> bool:
+        """The per-slot availability component alone (churn not re-checked).
+
+        For callers that already filtered candidates through :meth:`in_task`
+        — the async plane does, once per task — so the constant churn draw is
+        not re-derived on every probe.
+        """
+        if self.availability >= 1.0:
+            return True
+        avail_draw = spawn_rng(
+            seed, "device", self.client_id, "avail", task_id, slot
+        ).random()
+        return avail_draw < self.availability
+
+    def is_online(self, seed: int, task_id: int, slot: int) -> bool:
+        """The seeded availability trace: is this device online at ``slot``?
+
+        ``slot`` is the selection point within the task — the round index in
+        sync mode, the dispatch probe index in async/buffered mode.  Churn is
+        evaluated once per task (:meth:`in_task`); availability is evaluated
+        per slot (:meth:`available_at`).  Both draws are pure functions of
+        ``(seed, client_id, task_id, slot)``.
+        """
+        if self.always_online:
+            return True
+        return self.in_task(seed, task_id) and self.available_at(seed, task_id, slot)
+
+
+@dataclass(frozen=True)
+class _TierSpec:
+    """Distribution parameters of one ``device_profile`` tier."""
+
+    compute_base: float  # median per-step multiplier
+    compute_spread: float  # lognormal sigma of the multiplier
+    link_rate: float  # median bytes per simulated second
+    link_spread: float  # lognormal sigma of the link rate
+    availability: float
+    churn: float
+
+
+#: The named heterogeneity tiers of the ``device_profile`` knob.  ``instant``
+#: is the temporal no-op (zero cost, always online); ``homogeneous`` gives
+#: every device identical finite speed; ``mild`` / ``moderate`` / ``extreme``
+#: are the heterogeneity ladder the async-plane bench sweeps.
+PROFILE_TIERS: Dict[str, _TierSpec] = {
+    "instant": _TierSpec(0.0, 0.0, math.inf, 0.0, 1.0, 0.0),
+    "homogeneous": _TierSpec(1.0, 0.0, 2.0e6, 0.0, 1.0, 0.0),
+    "mild": _TierSpec(1.0, 0.3, 2.0e6, 0.3, 0.95, 0.0),
+    "moderate": _TierSpec(1.0, 0.6, 1.0e6, 0.6, 0.85, 0.05),
+    "extreme": _TierSpec(1.0, 1.0, 5.0e5, 1.0, 0.7, 0.15),
+}
+
+
+def build_profile(tier: str, seed: int, client_id: int) -> DeviceProfile:
+    """Draw one client's :class:`DeviceProfile` from a named tier.
+
+    Per-client parameters are lognormal around the tier's medians, drawn from
+    ``spawn_rng(seed, "device", client_id)`` — the same stream regardless of
+    when (or how often) the profile is built.
+    """
+    if tier not in PROFILE_TIERS:
+        raise ValueError(
+            f"unknown device profile tier {tier!r}; choose from {sorted(PROFILE_TIERS)}"
+        )
+    spec = PROFILE_TIERS[tier]
+    if spec.compute_spread == 0.0 and spec.link_spread == 0.0:
+        return DeviceProfile(
+            client_id=client_id,
+            compute_multiplier=spec.compute_base,
+            link_rate=spec.link_rate,
+            availability=spec.availability,
+            churn=spec.churn,
+        )
+    rng = spawn_rng(seed, "device", client_id)
+    multiplier = spec.compute_base * math.exp(rng.normal(0.0, spec.compute_spread))
+    link_rate = spec.link_rate * math.exp(rng.normal(0.0, spec.link_spread))
+    return DeviceProfile(
+        client_id=client_id,
+        compute_multiplier=multiplier,
+        link_rate=link_rate,
+        availability=spec.availability,
+        churn=spec.churn,
+    )
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Measured work -> simulated seconds; deterministic by construction.
+
+    ``step_seconds`` is the reference device's cost of one optimizer step
+    (one mini-batch); a profile's ``compute_multiplier`` scales it.
+    ``idle_seconds`` is the server's back-off when every device is offline at
+    a selection point (the sync mode's skipped-round tick).
+    """
+
+    step_seconds: float = 0.02
+    idle_seconds: float = 1.0
+
+    def training_seconds(
+        self, profile: DeviceProfile, num_samples: int, batch_size: int, local_epochs: int
+    ) -> float:
+        """Cost of the client's local update: epochs x batches at profile speed."""
+        steps = local_epochs * max(1, -(-num_samples // batch_size))  # ceil
+        return profile.compute_multiplier * self.step_seconds * steps
+
+    def transfer_seconds(self, profile: DeviceProfile, num_bytes: int) -> float:
+        """Cost of moving ``num_bytes`` (a measured frame length) over the link."""
+        if num_bytes <= 0 or math.isinf(profile.link_rate):
+            return 0.0
+        return num_bytes / profile.link_rate
+
+
+__all__ = [
+    "Event",
+    "EventScheduler",
+    "DeviceProfile",
+    "CostModel",
+    "PROFILE_TIERS",
+    "build_profile",
+]

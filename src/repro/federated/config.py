@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.federated.client import LocalTrainingConfig
+from repro.federated.clock import PROFILE_TIERS
 from repro.federated.communication import build_codec
 from repro.federated.increment import ClientIncrementConfig
 
@@ -91,13 +92,55 @@ class FederatedConfig:
         unlimited.  Each client's effective budget is the limit scaled by a
         deterministic per-client multiplier (drawn from the run seed), so
         some clients are structurally slow — the constrained-device
-        straggler scenario.  Requires ``transport="loopback"``.
+        straggler scenario.  Requires ``transport="loopback"`` and
+        ``mode="sync"`` (the event-driven modes model slow uplinks through
+        ``device_profile`` link rates instead; a per-round budget is a
+        synchronous-cohort concept).
     drop_stragglers:
         What happens to an upload frame over its client's budget: ``True``
         drops it (the update never aggregates; the download was still
         charged), ``False`` (default) defers it to the next round's
         aggregation (deferred frames expire at task boundaries).  A round
         that would lose every upload always keeps the smallest frame.
+    mode:
+        The temporal plane's aggregation regime
+        (:mod:`repro.federated.async_plane`): ``"sync"`` (default) is the
+        synchronous round loop (with homogeneous instantaneous device
+        profiles, bit-for-bit identical to the untimed engine); ``"async"``
+        applies each client's update the moment it arrives on the simulated
+        clock, FedAsync-style, with polynomial staleness decay;
+        ``"buffered"`` aggregates every ``buffer_size`` arrivals,
+        FedBuff-style, with staleness-scaled FedAvg weights.  All three
+        train the same total number of local updates per task
+        (``rounds_per_task * clients_per_round``), so regimes are compared
+        at equal compute.
+    device_profile:
+        Named system-heterogeneity tier (:data:`repro.federated.clock.
+        PROFILE_TIERS`): ``"instant"`` (default; zero simulated cost, always
+        online — the temporal no-op), ``"homogeneous"`` (identical finite
+        device speeds), or the heterogeneity ladder ``"mild"`` /
+        ``"moderate"`` / ``"extreme"`` (increasingly spread compute speeds
+        and link rates, decreasing availability, per-task churn).  Every
+        client's profile and its online/offline trace derive from
+        ``spawn_rng(seed, "device", client_id, ...)``.
+    buffer_size:
+        Buffered mode's K: aggregate whenever K arrivals have accumulated
+        (a partial buffer left at the end of a task still flushes).  ``0``
+        (default) means ``clients_per_round`` — the synchronous cohort size.
+        Ignored outside ``mode="buffered"``.
+    staleness_decay:
+        Exponent ``a`` of the polynomial staleness discount
+        ``(1 + staleness)^(-a)`` applied to async arrivals and buffered
+        flush weights (staleness = global-model versions between a client's
+        dispatch and its arrival).  ``0`` disables the discount.  Ignored in
+        sync mode.
+    sim_time_limit:
+        Simulated-seconds budget for the whole run: once the simulated clock
+        reaches it, no further work is dispatched (rounds still pending in
+        sync mode are skipped; async work already in flight still arrives).
+        ``0`` (default) is unlimited.  With ``device_profile="instant"`` the
+        clock never advances, so a limit only bites under a finite-cost
+        profile.
     """
 
     increment: ClientIncrementConfig = field(default_factory=ClientIncrementConfig)
@@ -117,6 +160,11 @@ class FederatedConfig:
     codec: str = "identity"
     bandwidth_limit: int = 0
     drop_stragglers: bool = False
+    mode: str = "sync"
+    device_profile: str = "instant"
+    buffer_size: int = 0
+    staleness_decay: float = 0.5
+    sim_time_limit: float = 0.0
 
     def __post_init__(self) -> None:
         if self.clients_per_round < 1:
@@ -147,6 +195,31 @@ class FederatedConfig:
                 "bandwidth_limit requires transport='loopback' (the direct "
                 "transport never builds the frames a budget would apply to)"
             )
+        if self.bandwidth_limit > 0 and self.mode != "sync":
+            raise ValueError(
+                "bandwidth_limit requires mode='sync': the event-driven modes "
+                "collect one upload per arrival, so the transport's keep-one "
+                "rule would always deliver the sole over-budget frame and the "
+                "budget would be silently inert (model slow uplinks there with "
+                "device_profile link rates instead)"
+            )
+        if self.mode not in ("sync", "async", "buffered"):
+            raise ValueError(
+                f"mode must be 'sync', 'async' or 'buffered', got {self.mode!r}"
+            )
+        if self.device_profile not in PROFILE_TIERS:
+            raise ValueError(
+                f"device_profile must be one of {sorted(PROFILE_TIERS)}, "
+                f"got {self.device_profile!r}"
+            )
+        if self.buffer_size < 0:
+            raise ValueError(
+                "buffer_size must be non-negative (0 means clients_per_round)"
+            )
+        if self.staleness_decay < 0:
+            raise ValueError("staleness_decay must be non-negative (0 disables decay)")
+        if self.sim_time_limit < 0:
+            raise ValueError("sim_time_limit must be non-negative (0 means unlimited)")
         try:
             resolved = np.dtype(self.dtype)
         except TypeError as error:

@@ -532,6 +532,23 @@ class Executor:
         """Run every client's local update and return updates in client order."""
         raise NotImplementedError
 
+    def run_client(
+        self,
+        method: FederatedMethod,
+        model: Module,
+        broadcast: BroadcastHandle,
+        client: ClientHandle,
+    ) -> ClientUpdate:
+        """One client's local update — the temporal plane's dispatch unit.
+
+        The event-driven async/buffered modes dispatch clients one arrival at
+        a time in simulated-clock order; each dispatch is a single-client
+        round on whichever executor is configured, so the pinned worker pool
+        (shard cache, replica cache and all) keeps doing the compute while
+        the scheduler decides ordering and staleness.
+        """
+        return self.run_round(method, model, broadcast, [client])[0]
+
     def close(self) -> None:
         """Release any worker resources (idempotent)."""
 

@@ -37,11 +37,13 @@ main process on the live method object and are unrestricted.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Any, Dict, List, Optional
 
 import numpy as np
 
 from repro.autograd.tensor import Tensor
+from repro.federated.aggregation import blend_states
 from repro.federated.client import ClientHandle
 from repro.federated.communication import ClientUpdate, PayloadCodec, TreePayloadCodec
 from repro.federated.server import FederatedServer
@@ -88,8 +90,31 @@ class FederatedMethod:
         raise NotImplementedError
 
     def aggregate(self, server: FederatedServer, updates: List[ClientUpdate]) -> None:
-        """Aggregate client updates into the server (default: plain FedAvg)."""
+        """Aggregate client updates into the server (default: plain FedAvg).
+
+        The temporal plane's buffered mode calls this inside a
+        ``server.aggregation_scale(...)`` scope, so overrides that delegate
+        model aggregation to ``server.aggregate`` (all of them do) are
+        staleness-weighted for free.
+        """
         server.aggregate(updates)
+
+    def apply_async_update(
+        self, server: FederatedServer, update: ClientUpdate, mixing: float
+    ) -> None:
+        """Apply one asynchronous arrival (FedAsync: ``x <- (1-m) x + m x_k``).
+
+        ``mixing`` is the staleness-discounted mixing rate in ``(0, 1]``.  The
+        default blends the arriving state into the current global state
+        (:func:`repro.federated.aggregation.blend_states`) and then runs the
+        method's own :meth:`aggregate` hook on the *blended* single-update
+        round — a single-update FedAvg is the identity on the model state, so
+        the blend survives exactly, while any payload machinery an override
+        wraps around ``server.aggregate`` (RefFiL's prompt clustering,
+        FedEWC's Fisher merge) still sees the arrival.
+        """
+        blended_state = blend_states(server.global_state, update.state_dict, mixing)
+        self.aggregate(server, [replace(update, state_dict=blended_state)])
 
     def predict_logits(self, model: Module, images: Tensor) -> Tensor:
         """Inference path used by the evaluator (default: call the model directly)."""

@@ -2,31 +2,60 @@
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
+
+
+class NoAvailableClientsError(RuntimeError):
+    """Every active client was filtered out as offline.
+
+    Raised instead of silently selecting offline clients so the temporal
+    plane's churn/availability scenarios surface the condition explicitly;
+    callers that can model "the server waits" (the simulation loop does)
+    catch this and advance the simulated clock instead.
+    """
 
 
 def sample_clients(
     active_clients: Sequence[int],
     count: int,
     rng: np.random.Generator,
+    available: Optional[Callable[[int], bool]] = None,
 ) -> List[int]:
     """Uniformly sample ``count`` distinct clients from the active set.
 
     When fewer clients are active than requested, all active clients are
     selected (the paper's smaller OfficeCaltech10 setup hits this case in the
     first tasks).
+
+    ``available`` is the temporal plane's availability hook: a predicate
+    applied to the active set *before* sampling (device offline this round,
+    churned out for the task).  ``None`` — the default, and the only case the
+    synchronous instantaneous-device path ever uses — is byte-identical to
+    having no hook at all: the same clients reach the same ``rng`` draws.
+    Raises :class:`NoAvailableClientsError` when the filter empties a
+    non-empty active set, so churn can never silently select offline clients.
     """
     active = list(active_clients)
     if count <= 0:
         raise ValueError("selection count must be positive")
     if not active:
         raise ValueError("cannot sample from an empty active client set")
+    if available is not None:
+        online = [client_id for client_id in active if available(client_id)]
+        if not online:
+            raise NoAvailableClientsError(
+                f"all {len(active)} active clients are offline after availability "
+                "filtering; no client can be selected this round (the caller "
+                "should advance the simulated clock and retry, not select an "
+                "offline client)"
+            )
+        active = online
     if count >= len(active):
         return sorted(active)
     chosen = rng.choice(len(active), size=count, replace=False)
     return sorted(active[i] for i in chosen)
 
 
-__all__ = ["sample_clients"]
+__all__ = ["NoAvailableClientsError", "sample_clients"]

@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
-from repro.federated.aggregation import fedavg
+from repro.federated.aggregation import blend_states, fedavg
 from repro.federated.communication import ClientUpdate, CommunicationLedger
 from repro.nn.module import Module
 from repro.nn.serialization import (
@@ -64,6 +65,7 @@ class FederatedServer:
         self.ledger_autorecord = True
         self.round_counter = 0
         self._broadcast_handle: Optional[BroadcastHandle] = None
+        self._aggregation_scale: Optional[Sequence[float]] = None
 
     def broadcast(self) -> Dict[str, np.ndarray]:
         """Return a copy of the global state for a client to load.
@@ -95,17 +97,67 @@ class FederatedServer:
         self._broadcast_handle = None
 
     def aggregate(self, updates: List[ClientUpdate]) -> Dict[str, np.ndarray]:
-        """FedAvg the updates into a new global state (weighted by |D_m|)."""
+        """FedAvg the updates into a new global state (weighted by |D_m|).
+
+        When an :meth:`aggregation_scale` scope is active, each update's
+        sample weight is additionally multiplied by its scale factor — the
+        temporal plane's staleness-aware buffered flush.  Outside such a
+        scope this is plain FedAvg, bit-for-bit.
+        """
         if not updates:
             raise ValueError("cannot aggregate zero client updates")
+        scale = self._aggregation_scale
+        if scale is not None and len(scale) != len(updates):
+            raise ValueError(
+                f"aggregation_scale has {len(scale)} factors but {len(updates)} "
+                "updates arrived; the scope must cover exactly the updates it "
+                "was declared for"
+            )
         new_state = fedavg(
             [update.state_dict for update in updates],
             [update.num_samples for update in updates],
+            scale=scale,
         )
+        self._aggregation_scale = None  # a scope covers exactly one aggregation
         self.global_state = new_state
         self.model.load_state_dict(new_state)
         if self.ledger_autorecord:
             self.ledger.record_round(updates, new_state, self.broadcast_payload)
+        self.round_counter += 1
+        self._broadcast_handle = None
+        return new_state
+
+    @contextmanager
+    def aggregation_scale(self, scale: Sequence[float]) -> Iterator[None]:
+        """Scope a per-update weight multiplier over the next :meth:`aggregate`.
+
+        The temporal plane staleness-weights a buffered flush *through* the
+        method's own ``aggregate`` hook (which may do arbitrary payload work
+        around ``server.aggregate``), so the scale travels on the server
+        instead of every method signature: the first ``aggregate`` inside the
+        scope consumes it, and it never leaks past the ``with`` block.
+        """
+        self._aggregation_scale = list(scale)
+        try:
+            yield
+        finally:
+            self._aggregation_scale = None
+
+    def apply_update(self, update: ClientUpdate, mixing: float) -> Dict[str, np.ndarray]:
+        """FedAsync-style per-arrival application: ``x <- (1-m) x + m x_k``.
+
+        ``mixing`` is the staleness-discounted mixing rate in ``(0, 1]``; the
+        blend itself is :func:`repro.federated.aggregation.blend_states`.
+        The standalone-server counterpart of
+        :meth:`FederatedMethod.apply_async_update` (which methods route
+        through their own ``aggregate`` hook so payload machinery sees the
+        arrival).  Counts as one global-model version (``round_counter``),
+        which is exactly what the temporal plane's staleness bookkeeping
+        measures.
+        """
+        new_state = blend_states(self.global_state, update.state_dict, mixing)
+        self.global_state = new_state
+        self.model.load_state_dict(new_state)
         self.round_counter += 1
         self._broadcast_handle = None
         return new_state

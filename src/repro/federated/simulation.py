@@ -31,13 +31,21 @@ from repro.continual.metrics import ContinualMetrics
 from repro.continual.scenario import DomainIncrementalScenario, Task
 from repro.datasets.base import ArrayDataset
 from repro.datasets.partition import partition_domain_across_clients
+from repro.federated.async_plane import TemporalPlaneRunner
 from repro.federated.client import ClientHandle
+from repro.federated.clock import (
+    CostModel,
+    DeviceProfile,
+    EventScheduler,
+    PROFILE_TIERS,
+    build_profile,
+)
 from repro.federated.communication import ClientUpdate, CommunicationLedger
 from repro.federated.config import FederatedConfig
 from repro.federated.execution import ParallelEvalBackend, ParallelExecutor, build_executor
 from repro.federated.increment import ClientGroup, ClientIncrementSchedule
 from repro.federated.method import FederatedMethod
-from repro.federated.sampling import sample_clients
+from repro.federated.sampling import NoAvailableClientsError, sample_clients
 from repro.federated.server import FederatedServer
 from repro.federated.transport import build_transport
 from repro.utils.logging_utils import get_logger
@@ -60,9 +68,20 @@ class SimulationResult:
     schedule_trace: List[Dict[str, int]] = field(default_factory=list)
     wall_clock_seconds: float = 0.0
     #: Mid-task evaluation snapshots recorded by ``eval_every``: one entry per
-    #: evaluated round, ``{"task_id", "round_index", "accuracies"}`` where
-    #: ``accuracies`` maps every seen domain's name to its accuracy.
+    #: evaluated round (per aggregation event in async/buffered modes),
+    #: ``{"task_id", "round_index", "accuracies", "sim_time"}`` where
+    #: ``accuracies`` maps every seen domain's name to its accuracy and
+    #: ``sim_time`` is the simulated clock at the snapshot — together they are
+    #: the accuracy-vs-simulated-time curve of the temporal plane.
     round_eval_history: List[Dict[str, object]] = field(default_factory=list)
+    #: Final simulated wall-clock time (seconds on the temporal plane's
+    #: clock).  ``0.0`` under the default instantaneous device profile.
+    sim_time: float = 0.0
+    #: The temporal plane's event trace: one ``{"time", "kind", ...}`` dict
+    #: per event — ``round``/``idle_round``/``skipped_round`` in sync mode,
+    #: ``dispatch``/``arrival``/``flush``/``budget_abandoned``/... in
+    #: async/buffered modes.  Deterministic per seed.
+    event_log: List[Dict[str, object]] = field(default_factory=list)
 
 
 def _mean_update_metrics(updates: List[ClientUpdate]) -> Dict[str, float]:
@@ -156,6 +175,16 @@ class FederatedDomainIncrementalSimulation:
         self.round_loss_components: List[Dict[str, float]] = []
         self.round_eval_history: List[Dict[str, object]] = []
         self.timer = Timer()
+        # The temporal plane: a deterministic discrete-event clock, a cost
+        # model turning measured work into simulated seconds, and per-client
+        # device profiles drawn from the configured heterogeneity tier.  With
+        # the default instantaneous tier every cost is zero and the clock
+        # never moves, so the synchronous path stays bit-for-bit untimed.
+        self.clock = EventScheduler()
+        self.cost_model = CostModel()
+        self.event_log: List[Dict[str, object]] = []
+        self._profiles: Dict[int, DeviceProfile] = {}
+        self._temporal_runner = TemporalPlaneRunner(self)
 
     # ------------------------------------------------------------------ #
     # Data assignment per task
@@ -206,7 +235,68 @@ class FederatedDomainIncrementalSimulation:
                     dataset.fingerprint()
 
     # ------------------------------------------------------------------ #
-    # Round loop
+    # Temporal plane
+    # ------------------------------------------------------------------ #
+    def profile_for(self, client_id: int) -> DeviceProfile:
+        """The client's device profile, drawn once from the configured tier."""
+        profile = self._profiles.get(client_id)
+        if profile is None:
+            profile = build_profile(self.config.device_profile, self.config.seed, client_id)
+            self._profiles[client_id] = profile
+        return profile
+
+    def availability_predicate(self, task_id: int, slot: int):
+        """The selection-time availability hook, or ``None`` for always-online tiers.
+
+        Returning ``None`` (rather than an always-true predicate) keeps the
+        instantaneous/homogeneous configurations on the exact historical
+        ``sample_clients`` path — no hook, no behavioural difference.
+        """
+        tier = PROFILE_TIERS[self.config.device_profile]
+        if tier.availability >= 1.0 and tier.churn <= 0.0:
+            return None
+        return lambda client_id: self.profile_for(client_id).is_online(
+            self.config.seed, task_id, slot
+        )
+
+    def client_seconds(self, client_id: int) -> float:
+        """Simulated cost of the client's most recent dispatch cycle.
+
+        Measured work through the cost model: download frame bytes over the
+        device link, epochs x batches at the device's per-step speed, upload
+        frame bytes back.  Valid right after the transport's
+        ``broadcast_round``/``collect_updates`` cycle for this client.
+        """
+        profile = self.profile_for(client_id)
+        dataset = self._training_data[client_id]
+        return (
+            self.cost_model.transfer_seconds(
+                profile, self.transport.last_broadcast_bytes.get(client_id, 0)
+            )
+            + self.cost_model.training_seconds(
+                profile,
+                len(dataset),
+                self.config.local.batch_size,
+                self.config.local.local_epochs,
+            )
+            + self.cost_model.transfer_seconds(
+                profile, self.transport.last_upload_bytes.get(client_id, 0)
+            )
+        )
+
+    def log_event(self, kind: str, **data: object) -> None:
+        """Append one stamped entry to the temporal plane's event trace."""
+        self.event_log.append({"time": self.clock.now, "kind": kind, **data})
+
+    def record_loss_components(self, updates: List[ClientUpdate]) -> None:
+        self.round_loss_components.append(_mean_update_metrics(updates))
+
+    def _time_exhausted(self) -> bool:
+        limit = self.config.sim_time_limit
+        return limit > 0 and self.clock.now >= limit
+
+    # ------------------------------------------------------------------ #
+    # Round loop (mode="sync")
     # ------------------------------------------------------------------ #
     def _run_round(self, task: Task, round_index: int) -> None:
         assignment = self.schedule.assignment_for_task(task.task_id)
@@ -225,7 +315,20 @@ class FederatedDomainIncrementalSimulation:
                 f"no client has training data for task {task.task_id}; "
                 "check the increment schedule and partitioning configuration"
             )
-        selected = sample_clients(eligible, self.config.clients_per_round, rng)
+        try:
+            selected = sample_clients(
+                eligible,
+                self.config.clients_per_round,
+                rng,
+                available=self.availability_predicate(task.task_id, round_index),
+            )
+        except NoAvailableClientsError:
+            # Every eligible device is offline this round: the server waits
+            # out an idle tick instead of training — nothing aggregates, no
+            # loss is recorded, and the trace says so explicitly.
+            self.clock.advance(self.cost_model.idle_seconds)
+            self.log_event("idle_round", task_id=task.task_id, round_index=round_index)
+            return
         handles = [
             ClientHandle(
                 client_id=client_id,
@@ -266,7 +369,7 @@ class FederatedDomainIncrementalSimulation:
         self.server.invalidate_broadcast()
         mean_loss = float(np.mean([update.train_loss for update in updates]))
         self.round_losses.append(mean_loss)
-        self.round_loss_components.append(_mean_update_metrics(updates))
+        self.record_loss_components(updates)
         if self.round_loss_components[-1]:
             logger.debug(
                 "task %d round %d loss components: %s",
@@ -281,6 +384,17 @@ class FederatedDomainIncrementalSimulation:
             len(updates),
             mean_loss,
         )
+        # The synchronous barrier on the simulated clock: the round takes as
+        # long as its slowest selected device (measured bytes over its link
+        # plus its local epochs at its speed).  Zero under the instantaneous
+        # tier, so the untimed configuration never sees the clock move.
+        self.clock.advance(max(self.client_seconds(client_id) for client_id in selected))
+        self.log_event(
+            "round",
+            task_id=task.task_id,
+            round_index=round_index,
+            clients=tuple(selected),
+        )
         if self.config.eval_every and (round_index + 1) % self.config.eval_every == 0:
             # Mid-task snapshot of the paper's evaluation protocol: score the
             # freshly aggregated global model on every seen domain.  Recorded
@@ -290,20 +404,34 @@ class FederatedDomainIncrementalSimulation:
             with self.timer.measure("round_evaluation"):
                 accuracies = self.evaluator.evaluate_seen(self.model, task.task_id)
             self.round_eval_history.append(
-                {"task_id": task.task_id, "round_index": round_index, "accuracies": accuracies}
+                {
+                    "task_id": task.task_id,
+                    "round_index": round_index,
+                    "accuracies": accuracies,
+                    "sim_time": self.clock.now,
+                }
             )
 
     # ------------------------------------------------------------------ #
     # Public API
     # ------------------------------------------------------------------ #
     def run_task(self, task: Task) -> Dict[str, float]:
-        """Run all rounds of one task and return per-domain evaluation accuracies."""
+        """Run one task — rounds in sync mode, the event loop otherwise —
+        and return per-domain evaluation accuracies."""
         with default_dtype(self.config.dtype):
             self.method.on_task_start(task.task_id, self.server)
             self.server.invalidate_broadcast()
             self._assign_task_data(task)
-            for round_index in range(self.config.rounds_per_task):
-                self._run_round(task, round_index)
+            if self.config.mode == "sync":
+                for round_index in range(self.config.rounds_per_task):
+                    if self._time_exhausted():
+                        self.log_event(
+                            "skipped_round", task_id=task.task_id, round_index=round_index
+                        )
+                        continue
+                    self._run_round(task, round_index)
+            else:
+                self._temporal_runner.run_task(task)
             self.method.on_task_end(task.task_id, self.server)
             # Whatever the hook did to the server must be visible to the
             # after-task evaluation below (the parallel eval backend scores
@@ -338,14 +466,29 @@ class FederatedDomainIncrementalSimulation:
             schedule_trace=self.schedule.schedule_trace(self.scenario.num_tasks),
             wall_clock_seconds=self.timer.total("total"),
             round_eval_history=self.round_eval_history,
+            sim_time=self.clock.now,
+            event_log=self.event_log,
         )
 
     def close(self) -> None:
-        """Release executor resources (worker pools); idempotent."""
+        """Release executor resources (worker pools); idempotent.
+
+        Shuts down both executors: the training executor and — when the
+        simulation owns a dedicated parallel eval pool (``executor="serial"``
+        with ``eval_executor="parallel"``) — the eval executor too.  Called
+        by :meth:`run` on every exit path; use the simulation as a context
+        manager when driving tasks manually via :meth:`run_task`.
+        """
         self.transport.finalize()
         self.executor.close()
         if self._owns_eval_executor and self.eval_executor is not None:
             self.eval_executor.close()
+
+    def __enter__(self) -> "FederatedDomainIncrementalSimulation":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 __all__ = ["FederatedDomainIncrementalSimulation", "SimulationResult"]

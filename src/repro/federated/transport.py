@@ -62,6 +62,7 @@ from repro.federated.communication import (
     RoundCommRecord,
     TreePayloadCodec,
     WireFrame,
+    _payload_bytes,
     build_codec,
     decode_frame,
     encode_frame,
@@ -110,6 +111,17 @@ class Transport:
 
     def __init__(self, ledger: CommunicationLedger) -> None:
         self.ledger = ledger
+        #: Per-client byte sizes of the most recent broadcast / upload cycle —
+        #: measured frame lengths on the loopback transport, the ``nbytes``
+        #: estimate on the direct one.  The temporal plane's cost model reads
+        #: these to turn each client's traffic into simulated transfer time:
+        #: ``last_broadcast_bytes`` is (re)written by every
+        #: :meth:`broadcast_round`, ``last_upload_bytes`` by every
+        #: :meth:`collect_updates` (covering the updates handed to that call,
+        #: including any the bandwidth scenario then dropped or deferred —
+        #: the client paid for the transfer either way).
+        self.last_broadcast_bytes: Dict[int, int] = {}
+        self.last_upload_bytes: Dict[int, int] = {}
 
     def broadcast_round(
         self,
@@ -141,6 +153,10 @@ class DirectTransport(Transport):
     def broadcast_round(self, server, selected, task_id, round_index):
         handle = server.broadcast_view()
         self._pending = (len(selected), server.global_state, server.broadcast_payload)
+        broadcast_one = sum(
+            np.asarray(value).nbytes for value in server.global_state.values()
+        ) + _payload_bytes(server.broadcast_payload)
+        self.last_broadcast_bytes = {client_id: broadcast_one for client_id in selected}
         return handle
 
     def collect_updates(self, updates):
@@ -148,6 +164,9 @@ class DirectTransport(Transport):
             raise RuntimeError("collect_updates called before broadcast_round")
         num_selected, state, payload = self._pending
         self._pending = None
+        self.last_upload_bytes = {
+            update.client_id: update.upload_bytes() for update in updates
+        }
         self.ledger.record_round(updates, state, payload, num_selected=num_selected)
         return updates
 
@@ -266,6 +285,9 @@ class LoopbackTransport(Transport):
                     decoded_handle = BroadcastHandle(state, payload)
                     received = arrays
         frames.sort(key=lambda record: record.client_id)
+        self.last_broadcast_bytes = {
+            record.client_id: record.num_bytes for record in frames
+        }
 
         for cid in selected:
             self._ack[cid] = received
@@ -320,8 +342,10 @@ class LoopbackTransport(Transport):
         delivered: List[ClientUpdate] = []
         frames: List[FrameRecord] = []
         over_budget: List[Tuple[ClientUpdate, WireFrame]] = []
+        self.last_upload_bytes = {}
         for update in updates:
             frame = self._encode_update(update, pending.received)
+            self.last_upload_bytes[update.client_id] = frame.num_bytes
             budget = self.budget_for(update.client_id)
             if budget is not None and frame.num_bytes > budget:
                 over_budget.append((update, frame))

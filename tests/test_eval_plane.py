@@ -435,7 +435,7 @@ class TestEvalEvery:
         # 2 tasks x 2 rounds, eval_every=1 -> one snapshot per round.
         assert len(result.round_eval_history) == 4
         for entry in result.round_eval_history:
-            assert set(entry) == {"task_id", "round_index", "accuracies"}
+            assert set(entry) == {"task_id", "round_index", "accuracies", "sim_time"}
             # Every seen domain (task_id + 1 of them) is scored.
             assert len(entry["accuracies"]) == entry["task_id"] + 1
         assert [e["task_id"] for e in result.round_eval_history] == [0, 0, 1, 1]
