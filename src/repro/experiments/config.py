@@ -26,6 +26,7 @@ from repro.datasets.registry import get_dataset_spec
 from repro.datasets.synthetic import DomainDatasetSpec
 from repro.federated.client import LocalTrainingConfig
 from repro.federated.config import FederatedConfig
+from repro.federated.faults import FaultSpec
 from repro.federated.increment import ClientIncrementConfig
 from repro.models.backbone import BackboneConfig
 
@@ -149,6 +150,12 @@ def scaled_config(
     buffer_size: int = 0,
     staleness_decay: float = 0.5,
     sim_time_limit: float = 0.0,
+    faults: Optional[FaultSpec] = None,
+    retries: int = 2,
+    retry_backoff: float = 0.5,
+    checkpoint_every: int = 0,
+    checkpoint_dir: str = "",
+    resume: bool = False,
 ) -> ScaledExperimentConfig:
     """Build the full configuration for one dataset at one scale.
 
@@ -171,7 +178,11 @@ def scaled_config(
     ``"extreme"`` heterogeneity tiers), ``buffer_size`` (buffered mode's K,
     0 = clients_per_round), ``staleness_decay`` (polynomial staleness
     exponent) and ``sim_time_limit`` (simulated-seconds budget, 0 =
-    unlimited).
+    unlimited), and the fault plane's ``faults`` (a
+    :class:`~repro.federated.faults.FaultSpec` schedule, None = no faults),
+    ``retries`` / ``retry_backoff`` (upload retry bound and backoff seconds),
+    and ``checkpoint_every`` / ``checkpoint_dir`` / ``resume`` (crash-safe
+    checkpoint cadence, location and relaunch behaviour).
     """
     scale = scale if scale is not None else get_scale()
     knobs = dict(_SCALE_KNOBS[scale])
@@ -226,6 +237,12 @@ def scaled_config(
         buffer_size=buffer_size,
         staleness_decay=staleness_decay,
         sim_time_limit=sim_time_limit,
+        faults=faults if faults is not None else FaultSpec(),
+        retries=retries,
+        retry_backoff=retry_backoff,
+        checkpoint_every=checkpoint_every,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
     )
     return ScaledExperimentConfig(
         dataset_name=dataset_name,

@@ -20,6 +20,7 @@ from repro.datasets.registry import build_dataset
 from repro.experiments.config import ScaledExperimentConfig
 from repro.federated.communication import codec_is_lossless
 from repro.federated.config import FederatedConfig
+from repro.federated.faults import FaultSpec
 from repro.federated.simulation import FederatedDomainIncrementalSimulation, SimulationResult
 from repro.utils.logging_utils import get_logger
 
@@ -97,6 +98,23 @@ def _normalize_execution_knobs(federated: FederatedConfig) -> FederatedConfig:
         staleness_decay = FederatedConfig.staleness_decay
     if federated.device_profile == "instant":
         sim_time_limit = 0.0
+    # Fault-plane knobs: checkpoint bookkeeping (where/how often to snapshot,
+    # whether the process resumed) never changes the trained numbers — the
+    # resume tests assert bit-for-bit equality — so it always folds away.  An
+    # all-zero FaultSpec makes the retry knobs inert too (no frame ever fails,
+    # so the bound and backoff are never consulted); with frame faults active
+    # they change delivery and stay in the key, and any enabled spec stays in
+    # the key outright because the failure trace changes the numbers.
+    faults = federated.faults
+    retries = federated.retries
+    retry_backoff = federated.retry_backoff
+    if not faults.enabled:
+        faults = FaultSpec()
+        retries = FederatedConfig.retries
+        retry_backoff = FederatedConfig.retry_backoff
+    elif faults.upload_loss_rate == 0.0 and faults.upload_corruption_rate == 0.0:
+        retries = FederatedConfig.retries
+        retry_backoff = FederatedConfig.retry_backoff
     return replace(
         federated,
         executor="serial",
@@ -110,6 +128,12 @@ def _normalize_execution_knobs(federated: FederatedConfig) -> FederatedConfig:
         buffer_size=buffer_size,
         staleness_decay=staleness_decay,
         sim_time_limit=sim_time_limit,
+        faults=faults,
+        retries=retries,
+        retry_backoff=retry_backoff,
+        checkpoint_every=0,
+        checkpoint_dir="",
+        resume=False,
     )
 
 

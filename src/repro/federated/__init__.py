@@ -42,9 +42,27 @@ from repro.federated.client import ClientHandle, LocalTrainingConfig, ShardRef, 
 from repro.federated.server import BroadcastHandle, FederatedServer
 from repro.federated.transport import (
     DirectTransport,
+    FrameCorruptionError,
+    FrameDecodeError,
     LoopbackTransport,
     Transport,
+    TransportError,
     build_transport,
+    verify_frame,
+)
+from repro.federated.faults import FaultInjector, FaultSpec
+from repro.federated.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointCorruptionError,
+    CheckpointError,
+    CheckpointMismatchError,
+    checkpoint_name,
+    config_fingerprint,
+    latest_checkpoint,
+    load_checkpoint,
+    parse_checkpoint_name,
+    save_checkpoint,
+    simulation_state_hash,
 )
 from repro.federated.method import FederatedMethod
 from repro.federated.config import FederatedConfig
@@ -57,6 +75,7 @@ from repro.federated.execution import (
     ParallelExecutor,
     RoundIPC,
     SerialExecutor,
+    WorkerDiedError,
     batch_aligned_slices,
     build_executor,
 )
@@ -95,6 +114,23 @@ __all__ = [
     "DirectTransport",
     "LoopbackTransport",
     "build_transport",
+    "TransportError",
+    "FrameCorruptionError",
+    "FrameDecodeError",
+    "verify_frame",
+    "FaultSpec",
+    "FaultInjector",
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "CheckpointCorruptionError",
+    "CheckpointMismatchError",
+    "checkpoint_name",
+    "parse_checkpoint_name",
+    "latest_checkpoint",
+    "save_checkpoint",
+    "load_checkpoint",
+    "config_fingerprint",
+    "simulation_state_hash",
     "ClientHandle",
     "LocalTrainingConfig",
     "ShardRef",
@@ -111,6 +147,7 @@ __all__ = [
     "EvalIPC",
     "EvalJob",
     "EvalSliceRef",
+    "WorkerDiedError",
     "batch_aligned_slices",
     "build_executor",
     "FederatedDomainIncrementalSimulation",

@@ -50,6 +50,7 @@ devices are left.
 
 from __future__ import annotations
 
+import bisect
 from typing import List, Set, Tuple
 
 import numpy as np
@@ -58,6 +59,7 @@ from repro.continual.scenario import Task
 from repro.federated.aggregation import staleness_weight
 from repro.federated.client import ClientHandle
 from repro.federated.communication import ClientUpdate
+from repro.federated.execution import ParallelExecutor
 from repro.federated.sampling import NoAvailableClientsError, sample_clients
 from repro.utils.logging_utils import get_logger
 from repro.utils.rng import spawn_rng
@@ -112,6 +114,11 @@ class TemporalPlaneRunner:
         self._abandoned = False
         self._last_cohort = -1
         self._in_flight: Set[int] = set()
+        #: Clients that crashed mid-update and are rebooting: out of
+        #: ``_present`` until their rejoin event fires.  While any client is
+        #: rebooting the budget is never abandoned — its rejoin will free
+        #: dispatch capacity again.
+        self._rebooting: Set[int] = set()
         #: Buffered mode's pending arrivals: (update, global version at dispatch).
         self._buffer: List[Tuple[ClientUpdate, int]] = []
 
@@ -137,6 +144,12 @@ class TemporalPlaneRunner:
             event = clock.pop()
             if event.kind == "retry":
                 self._try_dispatch()
+                continue
+            if event.kind == "client_crash":
+                self._on_crash(event)
+                continue
+            if event.kind == "rejoin":
+                self._on_rejoin(event)
                 continue
             self._on_arrival(event)
             self._try_dispatch()
@@ -168,8 +181,9 @@ class TemporalPlaneRunner:
         if not present:
             # Either every churn-surviving client is mid-training (an arrival
             # will re-try) or only churned-out devices remain with nothing in
-            # flight to free another — then the budget cannot be spent.
-            if not self._in_flight:
+            # flight — and nothing rebooting that could come back — to free
+            # another; then the budget cannot be spent.
+            if not self._in_flight and not self._rebooting:
                 self._abandoned = True
                 sim.log_event(
                     "budget_abandoned",
@@ -227,6 +241,26 @@ class TemporalPlaneRunner:
             sim.method.on_round_start(task_id, cohort, sim.server)
             sim.server.invalidate_broadcast()
         broadcast = sim.transport.broadcast_round(sim.server, [client_id], task_id, index)
+        injector = sim.fault_injector
+        if injector is not None and injector.client_crashes(task_id, index, client_id):
+            # The client downloaded the broadcast, burned a fraction of its
+            # training time, then died: no upload ever lands.  The transport's
+            # pending round is consumed empty (the ledger records the paid
+            # download), and the crash becomes a first-class event — the
+            # scheduler takes the client offline until its rejoin fires.
+            sim.transport.collect_updates([])
+            self._in_flight.add(client_id)
+            sim.clock.schedule(
+                sim.crash_seconds(client_id), "client_crash", client_id, index=index
+            )
+            sim.log_event(
+                "dispatch", task_id=task_id, client_id=client_id, index=index, version=version
+            )
+            return
+        if injector is not None and isinstance(sim.executor, ParallelExecutor):
+            victim = injector.worker_to_kill(task_id, index, sim.executor.num_workers)
+            if victim is not None:
+                sim.executor.request_worker_kill(victim)
         handle = ClientHandle(
             client_id=client_id,
             task_id=task_id,
@@ -256,6 +290,36 @@ class TemporalPlaneRunner:
         )
 
     # ------------------------------------------------------------------ #
+    # Crash / rejoin
+    # ------------------------------------------------------------------ #
+    def _on_crash(self, event) -> None:
+        """A dispatched client died mid-update: take it offline, then reboot."""
+        sim = self.sim
+        client_id = event.client_id
+        self._in_flight.discard(client_id)
+        index = bisect.bisect_left(self._present, client_id)
+        if index < len(self._present) and self._present[index] == client_id:
+            del self._present[index]
+        self._rebooting.add(client_id)
+        sim.clock.schedule(sim.cost_model.idle_seconds, "rejoin", client_id)
+        sim.log_event(
+            "client_crash",
+            task_id=self._task.task_id,
+            client_id=client_id,
+            index=event.data["index"],
+        )
+        self._try_dispatch()
+
+    def _on_rejoin(self, event) -> None:
+        """A crashed client finished rebooting and is dispatchable again."""
+        sim = self.sim
+        client_id = event.client_id
+        self._rebooting.discard(client_id)
+        bisect.insort(self._present, client_id)
+        sim.log_event("client_rejoin", task_id=self._task.task_id, client_id=client_id)
+        self._try_dispatch()
+
+    # ------------------------------------------------------------------ #
     # Arrival / aggregation
     # ------------------------------------------------------------------ #
     def _on_arrival(self, event) -> None:
@@ -271,6 +335,7 @@ class TemporalPlaneRunner:
                 mixing = ASYNC_MIXING * weight
                 sim.method.apply_async_update(sim.server, update, mixing)
                 sim.server.invalidate_broadcast()
+                sim.maybe_server_restart()
                 sim.round_losses.append(float(update.train_loss))
                 sim.record_loss_components([update])
                 self._aggregations += 1
@@ -306,6 +371,7 @@ class TemporalPlaneRunner:
         with sim.server.aggregation_scale(scales):
             sim.method.aggregate(sim.server, updates)
         sim.server.invalidate_broadcast()
+        sim.maybe_server_restart()
         sim.round_losses.append(float(np.mean([u.train_loss for u in updates])))
         sim.record_loss_components(updates)
         self._aggregations += 1

@@ -1,0 +1,170 @@
+"""Crash-safe checkpoints: versioned, compressed, atomically written snapshots.
+
+A killed run must resume *bit-for-bit*, so a checkpoint is a complete record
+of the simulation's durable state — model arrays, method payloads (through the
+method's own ``payload_codec()``), transport soft state, ledger, clock, event
+log, accuracy matrix, and the fault trace so far.  What it deliberately does
+NOT record is anything rebuilt deterministically from the config: datasets,
+client schedules, device profiles, and every RNG (``spawn_rng`` draws are pure
+functions of ``(seed, labels)``, so there is no generator state to save).
+
+The on-disk format is a small self-validating container::
+
+    RPCK | version u32 | crc32 u32 | zlib(pickle(payload))
+
+written via ``tmp + fsync + os.replace`` so a crash mid-write can never leave
+a truncated file under the final name — the resume scan either sees the old
+complete checkpoint or the new complete checkpoint, never garbage.
+
+File names encode the *resume start position*, not the save position:
+``ckpt-t0002-r00003.ckpt`` means "resume at task 2, round 3".  A task-end
+checkpoint of task ``t`` is therefore named ``(t + 1, 0)``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import re
+import struct
+import zlib
+from dataclasses import replace
+from typing import Any, Dict, Optional, Tuple
+
+CHECKPOINT_VERSION = 1
+_MAGIC = b"RPCK"
+_HEADER = struct.Struct(">4sII")
+_NAME_RE = re.compile(r"^ckpt-t(\d{4})-r(\d{5})\.ckpt$")
+
+
+class CheckpointError(RuntimeError):
+    """Base class for checkpoint load/save failures."""
+
+
+class CheckpointCorruptionError(CheckpointError):
+    """The checkpoint file is truncated, mangled, or from an unknown version."""
+
+
+class CheckpointMismatchError(CheckpointError):
+    """The checkpoint was written by a run with an incompatible configuration."""
+
+
+def checkpoint_name(start_task: int, start_round: int) -> str:
+    """File name for a checkpoint that resumes at ``(start_task, start_round)``."""
+    if start_task < 0 or start_round < 0:
+        raise ValueError("checkpoint positions must be non-negative")
+    return f"ckpt-t{start_task:04d}-r{start_round:05d}.ckpt"
+
+
+def parse_checkpoint_name(name: str) -> Optional[Tuple[int, int]]:
+    """``(start_task, start_round)`` encoded in ``name``, or None if not a checkpoint."""
+    match = _NAME_RE.match(name)
+    if match is None:
+        return None
+    return int(match.group(1)), int(match.group(2))
+
+
+def latest_checkpoint(directory: str) -> Optional[str]:
+    """Path of the furthest-along checkpoint in ``directory``, or None."""
+    if not directory or not os.path.isdir(directory):
+        return None
+    best: Optional[Tuple[int, int]] = None
+    best_name = None
+    for name in os.listdir(directory):
+        position = parse_checkpoint_name(name)
+        if position is None:
+            continue
+        if best is None or position > best:
+            best = position
+            best_name = name
+    if best_name is None:
+        return None
+    return os.path.join(directory, best_name)
+
+
+def save_checkpoint(path: str, payload: Dict[str, Any]) -> None:
+    """Atomically write ``payload`` to ``path`` (tmp + fsync + rename)."""
+    blob = zlib.compress(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+    header = _HEADER.pack(_MAGIC, CHECKPOINT_VERSION, zlib.crc32(blob))
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "wb") as handle:
+        handle.write(header)
+        handle.write(blob)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+
+
+def load_checkpoint(path: str) -> Dict[str, Any]:
+    """Read and validate a checkpoint written by :func:`save_checkpoint`."""
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    if len(raw) < _HEADER.size:
+        raise CheckpointCorruptionError(f"checkpoint {path!r} is truncated ({len(raw)} bytes)")
+    magic, version, crc = _HEADER.unpack_from(raw)
+    if magic != _MAGIC:
+        raise CheckpointCorruptionError(f"checkpoint {path!r} has bad magic {magic!r}")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointCorruptionError(
+            f"checkpoint {path!r} has version {version}, expected {CHECKPOINT_VERSION}"
+        )
+    blob = raw[_HEADER.size :]
+    if zlib.crc32(blob) != crc:
+        raise CheckpointCorruptionError(f"checkpoint {path!r} failed its checksum")
+    try:
+        payload = pickle.loads(zlib.decompress(blob))
+    except Exception as error:  # zlib.error, pickle errors, EOFError, ...
+        raise CheckpointCorruptionError(f"checkpoint {path!r} failed to decode: {error}") from error
+    if not isinstance(payload, dict):
+        raise CheckpointCorruptionError(f"checkpoint {path!r} holds {type(payload).__name__}, not a dict")
+    return payload
+
+
+def config_fingerprint(config: Any) -> str:
+    """Digest of everything in the config that affects simulation trajectory.
+
+    Checkpoint bookkeeping knobs (where/how often to save, whether to resume)
+    are masked out so the kill-and-resume flow — which necessarily differs in
+    exactly those knobs — still matches the fingerprint of the original run.
+    """
+    masked = replace(config, checkpoint_every=0, checkpoint_dir="", resume=False)
+    return hashlib.sha256(repr(masked).encode("utf-8")).hexdigest()
+
+
+def simulation_state_hash(simulation: Any) -> str:
+    """Order-stable digest of a simulation's trainable + evaluation state.
+
+    Used by the resume tests: an interrupted-and-resumed run and an
+    uninterrupted run must produce identical hashes at the same point.
+    """
+    import numpy as np
+
+    digest = hashlib.sha256()
+    for key in sorted(simulation.server.global_state):
+        array = np.ascontiguousarray(simulation.server.global_state[key])
+        digest.update(key.encode("utf-8"))
+        digest.update(str(array.dtype).encode("utf-8"))
+        digest.update(array.tobytes())
+    matrix = simulation.evaluator.accuracy_matrix._matrix
+    digest.update(np.ascontiguousarray(matrix).tobytes())
+    digest.update(np.asarray(simulation.round_losses, dtype=np.float64).tobytes())
+    digest.update(str(simulation.server.round_counter).encode("utf-8"))
+    return digest.hexdigest()
+
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "CheckpointCorruptionError",
+    "CheckpointMismatchError",
+    "checkpoint_name",
+    "parse_checkpoint_name",
+    "latest_checkpoint",
+    "save_checkpoint",
+    "load_checkpoint",
+    "config_fingerprint",
+    "simulation_state_hash",
+]

@@ -30,6 +30,7 @@ identical to runs without any wire format at all.
 from __future__ import annotations
 
 import pickle
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -103,16 +104,23 @@ class WireFrame:
     ``body`` is the serialized payload as it would cross the wire; the
     ledger's numbers are ``len(body)`` — measured, not estimated.  ``kind``
     and ``codec`` are bookkeeping for the simulation side and are not
-    counted (a real protocol would fold them into a fixed-size header).
+    counted (a real protocol would fold them into a fixed-size header, which
+    is also where ``checksum`` — the CRC32 of ``body`` used by the fault
+    plane's corruption detection — would live).
     """
 
     kind: str  # "broadcast" | "upload"
     codec: str
     body: bytes
+    checksum: Optional[int] = None
 
     @property
     def num_bytes(self) -> int:
         return len(self.body)
+
+    def checksum_ok(self) -> bool:
+        """True when the body matches its checksum (or no checksum was recorded)."""
+        return self.checksum is None or zlib.crc32(self.body) == self.checksum
 
 
 def encode_frame(
@@ -125,7 +133,7 @@ def encode_frame(
     """Encode a flat array dict (plus picklable metadata) into one frame."""
     plan = codec.encode(arrays, reference)
     body = pickle.dumps((meta, plan), protocol=pickle.HIGHEST_PROTOCOL)
-    return WireFrame(kind=kind, codec=codec.name, body=body)
+    return WireFrame(kind=kind, codec=codec.name, body=body, checksum=zlib.crc32(body))
 
 
 def decode_frame(
@@ -493,13 +501,17 @@ class TreePayloadCodec(PayloadCodec):
 
 @dataclass(frozen=True)
 class FrameRecord:
-    """One client's frame in one direction of one round."""
+    """One client's frame (or failed transmission attempt) in one round."""
 
     client_id: int
     num_bytes: int
     #: ``ok`` — delivered in its round; ``deferred`` — an over-budget upload
     #: that arrived a round late; ``dropped`` — an over-budget upload the
-    #: straggler policy discarded (its bytes never count as delivered).
+    #: straggler policy discarded (its bytes never count as delivered);
+    #: ``lost`` — a transmission attempt the fault plane lost on the wire;
+    #: ``corrupt`` — an attempt that arrived but failed its checksum.  Lost
+    #: and corrupt attempts are per-attempt records: a retried upload leaves
+    #: one failed record per failed attempt plus its final record.
     status: str = "ok"
 
 
@@ -519,12 +531,17 @@ class RoundCommRecord:
 
     @property
     def upload_bytes(self) -> int:
-        """Bytes of uploads that reached the server (dropped frames excluded)."""
-        return sum(f.num_bytes for f in self.upload_frames if f.status != "dropped")
+        """Bytes of uploads that reached the server (failed attempts excluded)."""
+        return sum(f.num_bytes for f in self.upload_frames if f.status in ("ok", "deferred"))
 
     @property
     def dropped_upload_bytes(self) -> int:
         return sum(f.num_bytes for f in self.upload_frames if f.status == "dropped")
+
+    @property
+    def failed_attempt_bytes(self) -> int:
+        """Bytes of transmission attempts the fault plane lost or corrupted."""
+        return sum(f.num_bytes for f in self.upload_frames if f.status in ("lost", "corrupt"))
 
 
 @dataclass
@@ -552,6 +569,8 @@ class CommunicationLedger:
     dropped_uploads: int = 0
     deferred_uploads: int = 0
     expired_uploads: int = 0
+    lost_frames: int = 0
+    corrupt_frames: int = 0
     records: List[RoundCommRecord] = field(default_factory=list)
 
     def record_round(
@@ -580,6 +599,8 @@ class CommunicationLedger:
         self.dropped_upload_bytes += record.dropped_upload_bytes
         self.dropped_uploads += sum(1 for f in record.upload_frames if f.status == "dropped")
         self.deferred_uploads += sum(1 for f in record.upload_frames if f.status == "deferred")
+        self.lost_frames += sum(1 for f in record.upload_frames if f.status == "lost")
+        self.corrupt_frames += sum(1 for f in record.upload_frames if f.status == "corrupt")
         self.rounds += 1
         self.measured_rounds += 1
         self.per_round.append(

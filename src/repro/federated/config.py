@@ -9,6 +9,7 @@ import numpy as np
 from repro.federated.client import LocalTrainingConfig
 from repro.federated.clock import PROFILE_TIERS
 from repro.federated.communication import build_codec
+from repro.federated.faults import FaultSpec
 from repro.federated.increment import ClientIncrementConfig
 
 
@@ -141,6 +142,38 @@ class FederatedConfig:
         ``0`` (default) is unlimited.  With ``device_profile="instant"`` the
         clock never advances, so a limit only bites under a finite-cost
         profile.
+    faults:
+        The fault plane's schedule (:class:`repro.federated.faults.FaultSpec`):
+        per-round client-crash probability, per-attempt upload loss/corruption
+        probabilities, per-round worker-kill probability, and a periodic
+        simulated server restart.  The default all-zero spec never constructs
+        an injector — the zero-fault path is bit-for-bit identical to a build
+        without the fault plane.  Frame faults (loss/corruption) require
+        ``transport="loopback"``; there is no wire to fault on ``"direct"``.
+    retries:
+        Upload retry budget of the loopback transport: a lost or corrupt
+        frame is retransmitted up to this many times (``retries + 1`` total
+        attempts) before the update falls to the drop/defer straggler rules.
+        Every attempt's bytes are charged to the ledger; the backoff waits
+        between attempts are charged to the straggler barrier / event clock.
+    retry_backoff:
+        Simulated seconds of the first retry wait; each further retry doubles
+        it (exponential backoff).  ``0`` retries instantly.
+    checkpoint_every:
+        Sync mode: additionally snapshot the run every N rounds within a task
+        (``0``, the default, checkpoints only at task boundaries).  Requires
+        ``checkpoint_dir``.  Task-boundary checkpoints are written in every
+        mode whenever ``checkpoint_dir`` is set.
+    checkpoint_dir:
+        Directory for crash-safe snapshots (:mod:`repro.federated.checkpoint`).
+        Empty (default) disables checkpointing entirely — and the simulation
+        then performs zero extra work, preserving bit-for-bit identity.
+    resume:
+        Start from the latest checkpoint in ``checkpoint_dir`` instead of from
+        scratch.  The checkpoint's config fingerprint must match (checkpoint
+        bookkeeping knobs excluded); a fresh directory silently starts from
+        scratch, so the same command line works for the first launch and
+        every relaunch after a crash.
     """
 
     increment: ClientIncrementConfig = field(default_factory=ClientIncrementConfig)
@@ -165,6 +198,12 @@ class FederatedConfig:
     buffer_size: int = 0
     staleness_decay: float = 0.5
     sim_time_limit: float = 0.0
+    faults: FaultSpec = field(default_factory=FaultSpec)
+    retries: int = 2
+    retry_backoff: float = 0.5
+    checkpoint_every: int = 0
+    checkpoint_dir: str = ""
+    resume: bool = False
 
     def __post_init__(self) -> None:
         if self.clients_per_round < 1:
@@ -220,6 +259,33 @@ class FederatedConfig:
             raise ValueError("staleness_decay must be non-negative (0 disables decay)")
         if self.sim_time_limit < 0:
             raise ValueError("sim_time_limit must be non-negative (0 means unlimited)")
+        if not isinstance(self.faults, FaultSpec):
+            raise ValueError(f"faults must be a FaultSpec, got {type(self.faults).__name__}")
+        if (
+            self.faults.upload_loss_rate > 0.0 or self.faults.upload_corruption_rate > 0.0
+        ) and self.transport != "loopback":
+            raise ValueError(
+                "upload loss/corruption faults require transport='loopback' "
+                "(the direct transport never builds the frames a fault would hit)"
+            )
+        if self.retries < 0:
+            raise ValueError("retries must be non-negative (0 means a single attempt)")
+        if self.retry_backoff < 0:
+            raise ValueError("retry_backoff must be non-negative (0 retries instantly)")
+        if self.checkpoint_every < 0:
+            raise ValueError(
+                "checkpoint_every must be non-negative (0 checkpoints only at task boundaries)"
+            )
+        if self.checkpoint_every > 0 and not self.checkpoint_dir:
+            raise ValueError("checkpoint_every requires checkpoint_dir")
+        if self.checkpoint_every > 0 and self.mode != "sync":
+            raise ValueError(
+                "checkpoint_every requires mode='sync' (the event-driven modes "
+                "have no mid-task round boundary to snapshot at; task-boundary "
+                "checkpoints still work in every mode via checkpoint_dir)"
+            )
+        if self.resume and not self.checkpoint_dir:
+            raise ValueError("resume requires checkpoint_dir")
         try:
             resolved = np.dtype(self.dtype)
         except TypeError as error:

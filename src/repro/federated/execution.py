@@ -351,6 +351,40 @@ def _run_eval_chunk(
     return results
 
 
+class WorkerDiedError(RuntimeError):
+    """A pinned pool worker died without reporting its chunk's result.
+
+    Raised instead of blocking forever on the result queue (the pre-fault-
+    plane failure mode) whether or not fault injection is active.  Carries
+    everything a caller needs to react: which workers died with which exit
+    codes, the client ids whose updates were lost with them, and the results
+    other workers had already reported (so a self-healing executor can absorb
+    them and replay only the lost chunks).
+    """
+
+    def __init__(
+        self,
+        worker_ids: Sequence[int],
+        exit_codes: Sequence[Optional[int]],
+        client_ids: Sequence[int] = (),
+        partial_outcomes: Optional[List[tuple]] = None,
+    ) -> None:
+        super().__init__()
+        self.worker_ids = list(worker_ids)
+        self.exit_codes = list(exit_codes)
+        self.client_ids = list(client_ids)
+        self.partial_outcomes = partial_outcomes if partial_outcomes is not None else []
+
+    def __str__(self) -> str:
+        message = (
+            f"worker process(es) {self.worker_ids} died without reporting a "
+            f"result (exit codes {self.exit_codes})"
+        )
+        if self.client_ids:
+            message += f"; pending client ids {self.client_ids}"
+        return message
+
+
 def _encode_error(exc: BaseException) -> Tuple[Optional[bytes], str]:
     """Make a worker failure shippable: the exception if picklable, plus text."""
     text = "".join(traceback.format_exception(type(exc), exc, exc.__traceback__))
@@ -383,13 +417,17 @@ def _worker_main(worker_id: int, task_queue, result_queue) -> None:
     updates through the client data plane, ``"eval"`` chunks score test-set
     slices through the evaluation plane.  Both planes share the worker's
     model replica cache, so evaluation jobs reuse the replica the training
-    rounds already built.
+    rounds already built.  A ``"die"`` message is the fault plane's
+    deterministic worker kill: the process exits immediately with the given
+    code, reporting nothing — exactly like a real crash.
     """
     while True:
         message = task_queue.get()
         if message is None:
             return
         kind, payload = message
+        if kind == "die":
+            os._exit(int(payload))
         try:
             if kind == "train":
                 method_blob, broadcast_blob, items, shard_blobs, dtype_name, task_id = payload
@@ -421,6 +459,7 @@ class _PinnedWorkerPool:
     """
 
     def __init__(self, num_workers: int, context) -> None:
+        self._context = context
         self._result_queue = context.Queue()
         self._task_queues = [context.Queue() for _ in range(num_workers)]
         self._processes = [
@@ -442,7 +481,10 @@ class _PinnedWorkerPool:
 
         Only the workers with an outstanding chunk are liveness-checked; an
         idle worker dying (nothing submitted to it this round) must not abort
-        a round whose results are all coming from live workers.
+        a round whose results are all coming from live workers.  A dead
+        pending worker raises :class:`WorkerDiedError` carrying the results
+        already gathered, so a healing caller loses only the dead workers'
+        chunks.
         """
         pending = set(pending)
         outcomes: List[tuple] = []
@@ -457,14 +499,39 @@ class _PinnedWorkerPool:
                 )
                 if dead:
                     codes = [self._processes[worker_id].exitcode for worker_id in dead]
-                    raise RuntimeError(
-                        f"worker process(es) {dead} died without reporting a result "
-                        f"(exit codes {codes})"
-                    )
+                    raise WorkerDiedError(dead, codes, partial_outcomes=outcomes)
                 continue
             outcomes.append(outcome)
             pending.discard(outcome[0])
         return outcomes
+
+    def respawn(self, worker_id: int) -> None:
+        """Replace a dead worker with a fresh process on a fresh task queue.
+
+        Anything still sitting in the dead worker's queue (the lost chunk, a
+        pending kill) dies with the queue; the replacement starts with empty
+        module-level caches, which is why the healing caller must forget the
+        worker's mirrored inventories before resubmitting.
+        """
+        process = self._processes[worker_id]
+        if process.is_alive():
+            process.terminate()
+        process.join(timeout=5.0)
+        stale_queue = self._task_queues[worker_id]
+        try:
+            stale_queue.close()
+            stale_queue.cancel_join_thread()
+        except Exception:
+            pass
+        task_queue = self._context.Queue()
+        self._task_queues[worker_id] = task_queue
+        replacement = self._context.Process(
+            target=_worker_main,
+            args=(worker_id, task_queue, self._result_queue),
+            daemon=True,
+        )
+        self._processes[worker_id] = replacement
+        replacement.start()
 
     def close(self) -> None:
         for task_queue in self._task_queues:
@@ -641,14 +708,162 @@ class ParallelExecutor(Executor):
     entry per round.
     """
 
-    def __init__(self, num_workers: Optional[int] = None, shard_cache: bool = True) -> None:
+    #: Exit code of a fault-plane worker kill, distinguishable from real crashes.
+    KILL_EXIT_CODE = 86
+
+    def __init__(
+        self,
+        num_workers: Optional[int] = None,
+        shard_cache: bool = True,
+        max_respawns: int = 0,
+    ) -> None:
         self.num_workers = max(1, num_workers if num_workers else (os.cpu_count() or 1))
         self.shard_cache = shard_cache
+        #: Self-healing budget: how many dead workers this executor may
+        #: replace over its lifetime before a death propagates as
+        #: :class:`WorkerDiedError`.  ``0`` (the default) disables healing —
+        #: a worker death always raises, the fault-plane-off contract.
+        self.max_respawns = max_respawns
+        #: Workers respawned so far (the bench's recovery counter).
+        self.respawns = 0
         self.ipc_log: List[RoundIPC] = []
         self.eval_ipc_log: List[EvalIPC] = []
         self._pool: Optional[_PinnedWorkerPool] = None
         self._inventories: List[Set[_ShardKey]] = []
         self._eval_inventories: List[Set[_ShardKey]] = []
+        self._pending_kills: List[int] = []
+
+    def request_worker_kill(self, worker_id: int) -> None:
+        """Schedule a deterministic worker death before the next round's chunks.
+
+        The fault plane's injection point: a ``"die"`` message is queued ahead
+        of the worker's next chunk, so the process exits exactly like a
+        crashed worker would — chunk lost, caches gone — and the healing
+        collect path detects, respawns and replays.
+        """
+        if not 0 <= worker_id < self.num_workers:
+            raise ValueError(
+                f"worker_id must be in [0, {self.num_workers}), got {worker_id}"
+            )
+        self._pending_kills.append(worker_id)
+
+    def _build_train_message(
+        self,
+        worker_id: int,
+        bucket: Sequence[Tuple[int, ClientHandle]],
+        method_blob: bytes,
+        broadcast_blob: bytes,
+        dtype_name: str,
+        task_id: int,
+        stats: Dict[str, int],
+    ) -> tuple:
+        """Build one worker's train chunk, updating its mirrored inventory.
+
+        A pure function of the round's blobs and the worker's inventory, so a
+        healing replay after a respawn (inventory wiped to empty) rebuilds a
+        chunk that re-ships every shard and reproduces the lost computation
+        bit-for-bit.
+        """
+        # Mirror the worker's task-boundary eviction exactly: the worker
+        # drops other-task entries when this chunk arrives, so the parent
+        # must forget them at the same moment (and only for workers that
+        # actually receive a chunk).
+        inventory = {key for key in self._inventories[worker_id] if key[1] == task_id}
+        self._inventories[worker_id] = inventory
+        items: List[Tuple[int, ClientHandle, ShardRef]] = []
+        shard_blobs: Dict[_ShardKey, bytes] = {}
+        for index, client in bucket:
+            ref = client.shard_ref()
+            key = ref.cache_key
+            if self.shard_cache and key in inventory:
+                stats["cache_hits"] += 1
+            elif key not in shard_blobs:
+                blob = pickle.dumps(client.dataset, protocol=pickle.HIGHEST_PROTOCOL)
+                shard_blobs[key] = blob
+                stats["shard_bytes"] += len(blob)
+                stats["shards_shipped"] += 1
+                if self.shard_cache:
+                    inventory.add(key)
+            items.append((index, client.lighten(), ref))
+        return ("train", (method_blob, broadcast_blob, items, shard_blobs, dtype_name, task_id))
+
+    def _build_eval_message(
+        self,
+        worker_id: int,
+        bucket: Sequence[Tuple[int, EvalJob]],
+        method_blob: bytes,
+        broadcast_blob: bytes,
+        dtype_name: str,
+        stats: Dict[str, int],
+    ) -> tuple:
+        """Build one worker's eval chunk, updating its mirrored eval inventory."""
+        inventory = self._eval_inventories[worker_id]
+        items: List[Tuple[int, EvalSliceRef, int]] = []
+        shard_blobs: Dict[_ShardKey, bytes] = {}
+        for index, job in bucket:
+            ref = job.slice_ref()
+            key = ref.cache_key
+            if self.shard_cache and key in inventory:
+                stats["cache_hits"] += 1
+            elif key not in shard_blobs:
+                blob = pickle.dumps(job.dataset, protocol=pickle.HIGHEST_PROTOCOL)
+                shard_blobs[key] = blob
+                stats["shard_bytes"] += len(blob)
+                stats["shards_shipped"] += 1
+                if self.shard_cache:
+                    # Mirror the worker's install-time replacement: a new
+                    # fingerprint for this (task, slice) pair supersedes the
+                    # stale entry on both sides.
+                    for stale in [k for k in inventory if k[:2] == key[:2]]:
+                        inventory.discard(stale)
+                    inventory.add(key)
+            items.append((index, ref, job.batch_size))
+        return ("eval", (method_blob, broadcast_blob, items, shard_blobs, dtype_name))
+
+    def _collect_healing(
+        self,
+        pool: _PinnedWorkerPool,
+        pending_workers: Set[int],
+        buckets: Dict[int, Sequence[tuple]],
+        rebuild: Callable[[int], tuple],
+    ) -> List[tuple]:
+        """Collect every pending chunk, healing worker deaths within budget.
+
+        A dead worker's already-reported peers are absorbed from the error;
+        the dead worker is respawned, its mirrored inventories (both planes)
+        forgotten — the fresh process holds nothing — and its chunk rebuilt
+        and resubmitted.  The replay is bit-for-bit: a chunk is a pure
+        function of the round's blobs.  Beyond ``max_respawns`` the
+        :class:`WorkerDiedError` propagates with the lost client ids filled
+        in.
+        """
+        outcomes: List[tuple] = []
+        pending = set(pending_workers)
+        while pending:
+            try:
+                outcomes.extend(pool.collect(pending))
+                break
+            except WorkerDiedError as error:
+                outcomes.extend(error.partial_outcomes)
+                pending -= {outcome[0] for outcome in error.partial_outcomes}
+                dead = [worker_id for worker_id in error.worker_ids if worker_id in pending]
+                pending -= set(dead)
+                if self.respawns + len(dead) > self.max_respawns:
+                    error.client_ids = sorted(
+                        item.client_id
+                        for worker_id in dead
+                        for _, item in buckets.get(worker_id, [])
+                        if isinstance(item, ClientHandle)
+                    )
+                    raise
+                for worker_id in dead:
+                    pool.respawn(worker_id)
+                    self.respawns += 1
+                    self._inventories[worker_id] = set()
+                    self._eval_inventories[worker_id] = set()
+                    pool.submit(worker_id, rebuild(worker_id))
+                    pending.add(worker_id)
+        return outcomes
 
     def _ensure_pool(self) -> _PinnedWorkerPool:
         if self._pool is None:
@@ -689,51 +904,50 @@ class ParallelExecutor(Executor):
         task_id = clients[0].task_id
         indexed = list(enumerate(clients))
         buckets = _assign_clients_to_workers(indexed, self.num_workers)
-        shard_bytes = shards_shipped = cache_hits = 0
         # Build every chunk message before submitting anything, and tear the
         # pool down on any failure in the build/submit/collect path: a
         # partially-submitted round would leave results in flight for the
         # next round's collect to mis-consume, and a partially-updated
         # inventory would desynchronise from workers that never received
         # their chunk.  close() clears both.
+        stats = {"shard_bytes": 0, "shards_shipped": 0, "cache_hits": 0}
         try:
+            bucket_map: Dict[int, Sequence[tuple]] = {}
             messages: List[Tuple[int, tuple]] = []
             for worker_id, bucket in enumerate(buckets):
                 if not bucket:
                     continue
-                # Mirror the worker's task-boundary eviction exactly: the
-                # worker drops other-task entries when this chunk arrives, so
-                # the parent must forget them at the same moment (and only
-                # for workers that actually receive a chunk).
-                inventory = {key for key in self._inventories[worker_id] if key[1] == task_id}
-                self._inventories[worker_id] = inventory
-                items: List[Tuple[int, ClientHandle, ShardRef]] = []
-                shard_blobs: Dict[_ShardKey, bytes] = {}
-                for index, client in bucket:
-                    ref = client.shard_ref()
-                    key = ref.cache_key
-                    if self.shard_cache and key in inventory:
-                        cache_hits += 1
-                    elif key not in shard_blobs:
-                        blob = pickle.dumps(client.dataset, protocol=pickle.HIGHEST_PROTOCOL)
-                        shard_blobs[key] = blob
-                        shard_bytes += len(blob)
-                        shards_shipped += 1
-                        if self.shard_cache:
-                            inventory.add(key)
-                    items.append((index, client.lighten(), ref))
+                bucket_map[worker_id] = bucket
                 messages.append(
                     (
                         worker_id,
-                        ("train", (method_blob, broadcast_blob, items, shard_blobs, dtype_name, task_id)),
+                        self._build_train_message(
+                            worker_id, bucket, method_blob, broadcast_blob, dtype_name, task_id, stats
+                        ),
                     )
                 )
+            # Fault-plane worker kills fire ahead of the round's chunks, so
+            # the victim dies before (or instead of) running its work — the
+            # chunk is genuinely lost and the healing path must replay it.
+            for victim in self._pending_kills:
+                pool.submit(victim, ("die", self.KILL_EXIT_CODE))
+            self._pending_kills = []
             for worker_id, message in messages:
                 pool.submit(worker_id, message)
-            outcomes = pool.collect({worker_id for worker_id, _ in messages})
+            outcomes = self._collect_healing(
+                pool,
+                {worker_id for worker_id, _ in messages},
+                bucket_map,
+                lambda worker_id: self._build_train_message(
+                    worker_id, bucket_map[worker_id], method_blob, broadcast_blob, dtype_name, task_id, stats
+                ),
+            )
         except Exception:
             self.close()
             raise
+        shard_bytes = stats["shard_bytes"]
+        shards_shipped = stats["shards_shipped"]
+        cache_hits = stats["cache_hits"]
         gathered: List[Tuple[int, ClientUpdate, Any]] = []
         failure: Optional[Tuple[Optional[bytes], str]] = None
         for worker_id, status, payload in outcomes:
@@ -794,46 +1008,42 @@ class ParallelExecutor(Executor):
         buckets: List[List[Tuple[int, EvalJob]]] = [[] for _ in range(self.num_workers)]
         for index, job in enumerate(jobs):
             buckets[(job.task_id + job.slice_index) % self.num_workers].append((index, job))
-        shard_bytes = shards_shipped = cache_hits = 0
         # Same failure discipline as run_round: a partially-submitted call
         # would leave results in flight and inventories desynchronised, so
         # any build/submit/collect failure tears the pool down (close()
         # clears both planes' inventories).
+        stats = {"shard_bytes": 0, "shards_shipped": 0, "cache_hits": 0}
         try:
+            bucket_map: Dict[int, Sequence[tuple]] = {}
             messages: List[Tuple[int, tuple]] = []
             for worker_id, bucket in enumerate(buckets):
                 if not bucket:
                     continue
-                inventory = self._eval_inventories[worker_id]
-                items: List[Tuple[int, EvalSliceRef, int]] = []
-                shard_blobs: Dict[_ShardKey, bytes] = {}
-                for index, job in bucket:
-                    ref = job.slice_ref()
-                    key = ref.cache_key
-                    if self.shard_cache and key in inventory:
-                        cache_hits += 1
-                    elif key not in shard_blobs:
-                        blob = pickle.dumps(job.dataset, protocol=pickle.HIGHEST_PROTOCOL)
-                        shard_blobs[key] = blob
-                        shard_bytes += len(blob)
-                        shards_shipped += 1
-                        if self.shard_cache:
-                            # Mirror the worker's install-time replacement: a
-                            # new fingerprint for this (task, slice) pair
-                            # supersedes the stale entry on both sides.
-                            for stale in [k for k in inventory if k[:2] == key[:2]]:
-                                inventory.discard(stale)
-                            inventory.add(key)
-                    items.append((index, ref, job.batch_size))
+                bucket_map[worker_id] = bucket
                 messages.append(
-                    (worker_id, ("eval", (method_blob, broadcast_blob, items, shard_blobs, dtype_name)))
+                    (
+                        worker_id,
+                        self._build_eval_message(
+                            worker_id, bucket, method_blob, broadcast_blob, dtype_name, stats
+                        ),
+                    )
                 )
             for worker_id, message in messages:
                 pool.submit(worker_id, message)
-            outcomes = pool.collect({worker_id for worker_id, _ in messages})
+            outcomes = self._collect_healing(
+                pool,
+                {worker_id for worker_id, _ in messages},
+                bucket_map,
+                lambda worker_id: self._build_eval_message(
+                    worker_id, bucket_map[worker_id], method_blob, broadcast_blob, dtype_name, stats
+                ),
+            )
         except Exception:
             self.close()
             raise
+        shard_bytes = stats["shard_bytes"]
+        shards_shipped = stats["shards_shipped"]
+        cache_hits = stats["cache_hits"]
         gathered: List[Tuple[int, int, int]] = []
         failure: Optional[Tuple[Optional[bytes], str]] = None
         for worker_id, status, payload in outcomes:
@@ -861,6 +1071,7 @@ class ParallelExecutor(Executor):
         return [(correct, total) for _, correct, total in gathered]
 
     def close(self) -> None:
+        self._pending_kills = []
         if self._pool is not None:
             self._pool.close()
             self._pool = None
@@ -977,13 +1188,16 @@ class ParallelEvalBackend(EvalBackend):
 
 
 def build_executor(
-    executor: str = "serial", num_workers: int = 0, shard_cache: bool = True
+    executor: str = "serial",
+    num_workers: int = 0,
+    shard_cache: bool = True,
+    max_respawns: int = 0,
 ) -> Executor:
     """Construct an executor from the :class:`FederatedConfig` knobs."""
     if executor == "serial":
         return SerialExecutor()
     if executor == "parallel":
-        return ParallelExecutor(num_workers, shard_cache=shard_cache)
+        return ParallelExecutor(num_workers, shard_cache=shard_cache, max_respawns=max_respawns)
     raise ValueError(f"unknown executor {executor!r}; choose 'serial' or 'parallel'")
 
 
@@ -996,6 +1210,7 @@ __all__ = [
     "EvalIPC",
     "EvalJob",
     "EvalSliceRef",
+    "WorkerDiedError",
     "batch_aligned_slices",
     "build_executor",
 ]

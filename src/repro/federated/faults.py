@@ -1,0 +1,217 @@
+"""Deterministic fault injection: the fault plane's schedule and trace.
+
+Fleet-scale federations fail constantly — clients crash mid-update, uploads
+are lost or corrupted on the wire, pool workers die, servers restart — and a
+simulation that cannot reproduce a failure cannot debug the recovery either.
+This module makes every failure *replayable*: a :class:`FaultSpec` declares
+the rates, and a :class:`FaultInjector` draws every fault decision from
+``spawn_rng(seed, "fault", <kind>, *context)`` — a pure function of the run
+seed and the query's coordinates, never of call order or wall time.  Two runs
+with the same ``(seed, FaultSpec)`` see the exact same failure trace, which
+is what the recovery tests (self-healing pool, transport retries,
+checkpoint/resume) assert their bit-for-bit guarantees against.
+
+The injector is *consulted*, never *driven*: the planes ask "does client 3
+crash in task 1 round 2?" at the moment that decision matters, so a disabled
+spec (all rates zero) means the injector is never even constructed and the
+zero-fault path performs zero extra RNG draws — the bit-for-bit inertness
+guarantee of the whole fault plane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.federated.communication import WireFrame
+from repro.utils.rng import spawn_rng
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Declarative fault schedule of one run; all rates default to zero.
+
+    Attributes
+    ----------
+    client_crash_rate:
+        Per-(client, round) probability that a selected client crashes
+        mid-update: it receives the broadcast and burns ``crash_fraction`` of
+        its training time, but never uploads.
+    upload_loss_rate:
+        Per-attempt probability that an upload frame is lost on the wire
+        (the transport retries up to its attempt bound).
+    upload_corruption_rate:
+        Per-attempt probability that an upload frame arrives with flipped
+        bytes; the checksum rejects it and the transport retries.
+    worker_kill_rate:
+        Per-round probability that one pinned pool worker process dies before
+        running its chunk (the executor respawns it and replays the chunk).
+    server_restart_every:
+        Simulate a server process restart every N aggregations (0 = never):
+        protocol soft state (delta acknowledgements, deferred uploads) is
+        wiped, as it would be by a real restart; durable state survives only
+        through checkpoints.
+    crash_fraction:
+        Fraction of a crashed client's training time spent before the crash
+        (its simulated-clock cost; the download was already paid in full).
+    """
+
+    client_crash_rate: float = 0.0
+    upload_loss_rate: float = 0.0
+    upload_corruption_rate: float = 0.0
+    worker_kill_rate: float = 0.0
+    server_restart_every: int = 0
+    crash_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        for name in ("client_crash_rate", "upload_loss_rate", "upload_corruption_rate", "worker_kill_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+        if self.server_restart_every < 0:
+            raise ValueError("server_restart_every must be non-negative (0 disables restarts)")
+        if not 0.0 <= self.crash_fraction <= 1.0:
+            raise ValueError(f"crash_fraction must be in [0, 1], got {self.crash_fraction!r}")
+
+    @property
+    def enabled(self) -> bool:
+        """True when any fault can ever fire under this spec."""
+        return (
+            self.client_crash_rate > 0.0
+            or self.upload_loss_rate > 0.0
+            or self.upload_corruption_rate > 0.0
+            or self.worker_kill_rate > 0.0
+            or self.server_restart_every > 0
+        )
+
+
+class FaultInjector:
+    """Draws every fault decision of a run; a pure function of (seed, spec).
+
+    Each predicate derives a fresh generator from the query's coordinates —
+    ``spawn_rng(seed, "fault", kind, *context)`` — so the answer for any
+    (kind, context) pair never depends on which other queries were made, in
+    what order, or how many times.  Fired faults are appended to
+    :attr:`trace` for the bench's recovery accounting and the purity tests.
+    """
+
+    def __init__(self, seed: int, spec: FaultSpec) -> None:
+        self.seed = seed
+        self.spec = spec
+        #: Chronological record of every fault that actually fired:
+        #: ``{"kind": ..., **coordinates}`` dicts (no wall time — the trace
+        #: must be comparable across runs).
+        self.trace: List[Dict[str, Any]] = []
+        self.counters: Dict[str, int] = {
+            "client_crashes": 0,
+            "frames_lost": 0,
+            "frames_corrupted": 0,
+            "workers_killed": 0,
+            "server_restarts": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Predicates (one deterministic draw each)
+    # ------------------------------------------------------------------ #
+    def _draw(self, kind: str, *context: Any) -> float:
+        return spawn_rng(self.seed, "fault", kind, *context).random()
+
+    def client_crashes(self, task_id: int, round_index: Any, client_id: int) -> bool:
+        """Does this client crash mid-update at this selection point?"""
+        if self.spec.client_crash_rate <= 0.0:
+            return False
+        if self._draw("crash", task_id, round_index, client_id) < self.spec.client_crash_rate:
+            self._record("client_crash", task_id=task_id, round_index=round_index, client_id=client_id)
+            self.counters["client_crashes"] += 1
+            return True
+        return False
+
+    def upload_lost(self, task_id: int, round_index: Any, client_id: int, attempt: int) -> bool:
+        """Is this upload attempt's frame lost on the wire?"""
+        if self.spec.upload_loss_rate <= 0.0:
+            return False
+        if self._draw("lose", task_id, round_index, client_id, attempt) < self.spec.upload_loss_rate:
+            self._record(
+                "frame_lost",
+                task_id=task_id,
+                round_index=round_index,
+                client_id=client_id,
+                attempt=attempt,
+            )
+            self.counters["frames_lost"] += 1
+            return True
+        return False
+
+    def upload_corrupted(self, task_id: int, round_index: Any, client_id: int, attempt: int) -> bool:
+        """Does this upload attempt's frame arrive with flipped bytes?"""
+        if self.spec.upload_corruption_rate <= 0.0:
+            return False
+        if (
+            self._draw("corrupt", task_id, round_index, client_id, attempt)
+            < self.spec.upload_corruption_rate
+        ):
+            self._record(
+                "frame_corrupt",
+                task_id=task_id,
+                round_index=round_index,
+                client_id=client_id,
+                attempt=attempt,
+            )
+            self.counters["frames_corrupted"] += 1
+            return True
+        return False
+
+    def corrupt_frame(
+        self, frame: WireFrame, task_id: int, round_index: Any, client_id: int, attempt: int
+    ) -> WireFrame:
+        """Deterministically flip one byte of the frame body (never a no-op XOR)."""
+        rng = spawn_rng(self.seed, "fault", "flip", task_id, round_index, client_id, attempt)
+        body = bytearray(frame.body)
+        if body:
+            position = int(rng.integers(len(body)))
+            body[position] ^= int(rng.integers(1, 256))
+        return WireFrame(kind=frame.kind, codec=frame.codec, body=bytes(body), checksum=frame.checksum)
+
+    def worker_to_kill(self, task_id: int, round_index: Any, num_workers: int) -> Optional[int]:
+        """The pool worker that dies this round, if any."""
+        if self.spec.worker_kill_rate <= 0.0 or num_workers < 1:
+            return None
+        rng = spawn_rng(self.seed, "fault", "worker", task_id, round_index)
+        if rng.random() < self.spec.worker_kill_rate:
+            victim = int(rng.integers(num_workers))
+            self._record(
+                "worker_killed", task_id=task_id, round_index=round_index, worker_id=victim
+            )
+            self.counters["workers_killed"] += 1
+            return victim
+        return None
+
+    def server_restarts(self, round_counter: int) -> bool:
+        """Does the server restart after this aggregation?  (No RNG: periodic.)"""
+        every = self.spec.server_restart_every
+        if every <= 0 or round_counter <= 0 or round_counter % every != 0:
+            return False
+        self._record("server_restart", round_counter=round_counter)
+        self.counters["server_restarts"] += 1
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Trace / checkpoint state
+    # ------------------------------------------------------------------ #
+    def _record(self, kind: str, **coordinates: Any) -> None:
+        self.trace.append({"kind": kind, **coordinates})
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Fired-fault bookkeeping for checkpoints (the predicates are stateless)."""
+        return {"trace": list(self.trace), "counters": dict(self.counters)}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self.trace[:] = [dict(entry) for entry in state["trace"]]
+        self.counters.update(state["counters"])
+
+    def summary(self) -> Dict[str, int]:
+        """The recovery counters (the bench's ``fault_plane`` section rows)."""
+        return dict(self.counters)
+
+
+__all__ = ["FaultSpec", "FaultInjector"]

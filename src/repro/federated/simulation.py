@@ -20,8 +20,10 @@ the hooks they implement.
 
 from __future__ import annotations
 
+import os
+import pickle
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -32,6 +34,15 @@ from repro.continual.scenario import DomainIncrementalScenario, Task
 from repro.datasets.base import ArrayDataset
 from repro.datasets.partition import partition_domain_across_clients
 from repro.federated.async_plane import TemporalPlaneRunner
+from repro.federated.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointMismatchError,
+    checkpoint_name,
+    config_fingerprint,
+    latest_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.federated.client import ClientHandle
 from repro.federated.clock import (
     CostModel,
@@ -43,11 +54,12 @@ from repro.federated.clock import (
 from repro.federated.communication import ClientUpdate, CommunicationLedger
 from repro.federated.config import FederatedConfig
 from repro.federated.execution import ParallelEvalBackend, ParallelExecutor, build_executor
+from repro.federated.faults import FaultInjector
 from repro.federated.increment import ClientGroup, ClientIncrementSchedule
 from repro.federated.method import FederatedMethod
 from repro.federated.sampling import NoAvailableClientsError, sample_clients
 from repro.federated.server import FederatedServer
-from repro.federated.transport import build_transport
+from repro.federated.transport import _flatten_message, _split_message, build_transport
 from repro.utils.logging_utils import get_logger
 from repro.utils.rng import spawn_rng
 from repro.utils.timing import Timer
@@ -82,6 +94,12 @@ class SimulationResult:
     #: ``dispatch``/``arrival``/``flush``/``budget_abandoned``/... in
     #: async/buffered modes.  Deterministic per seed.
     event_log: List[Dict[str, object]] = field(default_factory=list)
+    #: The fault plane's recovery accounting: the injector's fired-fault
+    #: counters plus ``worker_respawns``, the transport's lost/corrupt frame
+    #: totals, ``checkpoints_written`` and ``resumed_from`` (the checkpoint
+    #: path a resumed run started at, or None).  Empty when the fault plane
+    #: and checkpointing are both off.
+    fault_stats: Dict[str, object] = field(default_factory=dict)
 
 
 def _mean_update_metrics(updates: List[ClientUpdate]) -> Dict[str, float]:
@@ -125,6 +143,13 @@ class FederatedDomainIncrementalSimulation:
             self.model = method.build_model()
         self.server = FederatedServer(self.model)
         self.schedule = ClientIncrementSchedule(config.increment)
+        # The fault plane: constructed only when some fault can actually fire,
+        # so the zero-fault configuration takes the exact historical code
+        # paths (no injector consultations, no extra RNG draws) and stays
+        # bit-for-bit identical.
+        self.fault_injector: Optional[FaultInjector] = (
+            FaultInjector(config.seed, config.faults) if config.faults.enabled else None
+        )
         # The communication plane: every round's broadcast and uploads move
         # through the transport, which owns the server's ledger (measured
         # wire frames on the loopback transport, the legacy estimate on the
@@ -137,9 +162,23 @@ class FederatedDomainIncrementalSimulation:
             seed=config.seed,
             bandwidth_limit=config.bandwidth_limit,
             drop_stragglers=config.drop_stragglers,
+            retries=config.retries,
+            retry_backoff=config.retry_backoff,
+            faults=self.fault_injector,
         )
         self.server.ledger_autorecord = False
-        self.executor = build_executor(config.executor, config.num_workers, config.shard_cache)
+        # Worker deaths are replayed, not fatal, when the fault plane kills
+        # workers on purpose; the respawn budget is generous (every round
+        # could kill one worker, twice over) but finite, so a genuinely
+        # crash-looping setup still surfaces as WorkerDiedError.
+        max_respawns = (
+            2 * scenario.num_tasks * config.rounds_per_task
+            if config.faults.worker_kill_rate > 0.0
+            else 0
+        )
+        self.executor = build_executor(
+            config.executor, config.num_workers, config.shard_cache, max_respawns=max_respawns
+        )
         # The evaluation plane: when eval_executor="parallel", seen-task
         # evaluation fans over a pinned worker pool — the training executor's
         # own pool when it is parallel too (evaluation jobs interleave with
@@ -185,6 +224,10 @@ class FederatedDomainIncrementalSimulation:
         self.event_log: List[Dict[str, object]] = []
         self._profiles: Dict[int, DeviceProfile] = {}
         self._temporal_runner = TemporalPlaneRunner(self)
+        #: Checkpoint bookkeeping: how many snapshots this process wrote and
+        #: which checkpoint file (if any) this run resumed from.
+        self.checkpoints_written = 0
+        self._resumed_from: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # Data assignment per task
@@ -282,7 +325,45 @@ class FederatedDomainIncrementalSimulation:
             + self.cost_model.transfer_seconds(
                 profile, self.transport.last_upload_bytes.get(client_id, 0)
             )
+            # Retry backoff the fault plane imposed on this client's upload
+            # (zero without lost/corrupt attempts — the dict is then empty).
+            + self.transport.last_penalty_seconds.get(client_id, 0.0)
         )
+
+    def crash_seconds(self, client_id: int) -> float:
+        """Simulated cost of a client that crashed mid-update this cycle.
+
+        The download was already paid in full; training burned
+        ``crash_fraction`` of its normal time before the crash; nothing was
+        uploaded.
+        """
+        profile = self.profile_for(client_id)
+        dataset = self._training_data[client_id]
+        return self.cost_model.transfer_seconds(
+            profile, self.transport.last_broadcast_bytes.get(client_id, 0)
+        ) + self.config.faults.crash_fraction * self.cost_model.training_seconds(
+            profile,
+            len(dataset),
+            self.config.local.batch_size,
+            self.config.local.local_epochs,
+        )
+
+    def maybe_server_restart(self) -> None:
+        """Fire the fault plane's periodic simulated server restart, if due.
+
+        Called after every aggregation (sync rounds and async/buffered
+        applications alike): the transport's protocol soft state — delta
+        acknowledgements, deferred uploads — is wiped exactly as a real
+        process restart would wipe it, and the event trace records the
+        restart.  Durable state (model, ledger, method) lives outside the
+        transport and survives.
+        """
+        injector = self.fault_injector
+        if injector is None:
+            return
+        if injector.server_restarts(self.server.round_counter):
+            self.transport.restart()
+            self.log_event("server_restart", round_counter=self.server.round_counter)
 
     def log_event(self, kind: str, **data: object) -> None:
         """Append one stamped entry to the temporal plane's event trace."""
@@ -329,6 +410,34 @@ class FederatedDomainIncrementalSimulation:
             self.clock.advance(self.cost_model.idle_seconds)
             self.log_event("idle_round", task_id=task.task_id, round_index=round_index)
             return
+        # The fault plane's per-round consultations.  Crashed clients still
+        # receive the broadcast (they were selected; the server does not know
+        # they will die) but never train to completion or upload.  A worker
+        # kill is queued on the executor, which murders the victim process
+        # just before the round's chunks go out — the self-healing collect
+        # respawns it and replays the lost work.
+        injector = self.fault_injector
+        crashed: frozenset = frozenset()
+        if injector is not None:
+            crashed = frozenset(
+                client_id
+                for client_id in selected
+                if injector.client_crashes(task.task_id, round_index, client_id)
+            )
+            for client_id in sorted(crashed):
+                self.log_event(
+                    "client_crash",
+                    task_id=task.task_id,
+                    round_index=round_index,
+                    client_id=client_id,
+                )
+            if isinstance(self.executor, ParallelExecutor):
+                victim = injector.worker_to_kill(
+                    task.task_id, round_index, self.executor.num_workers
+                )
+                if victim is not None:
+                    self.executor.request_worker_kill(victim)
+        survivors = [client_id for client_id in selected if client_id not in crashed]
         handles = [
             ClientHandle(
                 client_id=client_id,
@@ -344,7 +453,7 @@ class FederatedDomainIncrementalSimulation:
                     "num_tasks": float(self.scenario.num_tasks),
                 },
             )
-            for client_id in selected
+            for client_id in survivors
         ]
         # One shared read-only broadcast per round (zero per-client copies),
         # delivered through the transport: clients train from the *decoded*
@@ -354,19 +463,45 @@ class FederatedDomainIncrementalSimulation:
             broadcast = self.transport.broadcast_round(
                 self.server, selected, task.task_id, round_index
             )
-        with self.timer.measure("local_update"):
-            updates = self.executor.run_round(self.method, self.model, broadcast, handles)
+        if handles:
+            with self.timer.measure("local_update"):
+                updates = self.executor.run_round(self.method, self.model, broadcast, handles)
+        else:
+            # Every selected client crashed before training; nothing to run.
+            updates = []
         # Decode-before-aggregate: uploads become wire frames, the bandwidth
         # scenario drops/defers stragglers, and aggregation sees exactly what
         # arrived (plus any deferred uploads from the previous round).
         with self.timer.measure("uplink"):
             updates = self.transport.collect_updates(updates)
+        # The synchronous barrier on the simulated clock: the round takes as
+        # long as its slowest selected device — a crashed client burns its
+        # download plus a fraction of its training time, a surviving one its
+        # full measured cycle (including any retry backoff).
+        barrier = max(
+            self.crash_seconds(client_id) if client_id in crashed else self.client_seconds(client_id)
+            for client_id in selected
+        )
+        if not updates:
+            # Nothing reached aggregation: every selected client crashed, or
+            # every upload exhausted its retries under drop_stragglers.  The
+            # global model simply does not advance this round — no loss is
+            # recorded, and the trace says so explicitly.
+            self.clock.advance(barrier)
+            self.log_event(
+                "failed_round",
+                task_id=task.task_id,
+                round_index=round_index,
+                clients=tuple(selected),
+            )
+            return
         with self.timer.measure("aggregate"):
             self.method.aggregate(self.server, updates)
         # server.aggregate() invalidates the cached broadcast itself, but a
         # method's aggregate override may mutate server state directly; the
         # mid-task eval below must never score a stale pre-round broadcast.
         self.server.invalidate_broadcast()
+        self.maybe_server_restart()
         mean_loss = float(np.mean([update.train_loss for update in updates]))
         self.round_losses.append(mean_loss)
         self.record_loss_components(updates)
@@ -384,11 +519,9 @@ class FederatedDomainIncrementalSimulation:
             len(updates),
             mean_loss,
         )
-        # The synchronous barrier on the simulated clock: the round takes as
-        # long as its slowest selected device (measured bytes over its link
-        # plus its local epochs at its speed).  Zero under the instantaneous
-        # tier, so the untimed configuration never sees the clock move.
-        self.clock.advance(max(self.client_seconds(client_id) for client_id in selected))
+        # Zero under the instantaneous tier, so the untimed configuration
+        # never sees the clock move.
+        self.clock.advance(barrier)
         self.log_event(
             "round",
             task_id=task.task_id,
@@ -413,23 +546,164 @@ class FederatedDomainIncrementalSimulation:
             )
 
     # ------------------------------------------------------------------ #
+    # Checkpoint / resume
+    # ------------------------------------------------------------------ #
+    def _checkpoint_payload(self, start_task: int, start_round: int) -> Dict[str, object]:
+        """Everything a fresh process needs to continue bit-for-bit.
+
+        Model state and method broadcast payload travel flattened through the
+        method's own ``payload_codec()`` (the same namespacing the wire
+        format uses); the method object itself is pickled whole (it is
+        required to be picklable for the parallel executor anyway).  Nothing
+        rebuilt deterministically from the config is stored: datasets, client
+        schedules, device profiles, and every RNG — ``spawn_rng`` streams are
+        pure functions of ``(seed, labels)``, so there is no generator state.
+        """
+        arrays, skeleton = _flatten_message(
+            self.server.global_state, self.server.broadcast_payload, self.method.payload_codec()
+        )
+        return {
+            "version": CHECKPOINT_VERSION,
+            "fingerprint": config_fingerprint(self.config),
+            "start_task": start_task,
+            "start_round": start_round,
+            "server": {
+                "arrays": {key: np.array(value, copy=True) for key, value in arrays.items()},
+                "skeleton": skeleton,
+                "round_counter": self.server.round_counter,
+            },
+            "method_blob": pickle.dumps(self.method, protocol=pickle.HIGHEST_PROTOCOL),
+            "transport": self.transport.state_dict(),
+            "ledger_blob": pickle.dumps(self.server.ledger, protocol=pickle.HIGHEST_PROTOCOL),
+            "round_losses": list(self.round_losses),
+            "round_loss_components": [dict(entry) for entry in self.round_loss_components],
+            "round_eval_history": list(self.round_eval_history),
+            "event_log": list(self.event_log),
+            "clock": {"now": self.clock.now, "seq": self.clock._seq},
+            "evaluator": {
+                "matrix": np.array(self.evaluator.accuracy_matrix._matrix, copy=True),
+                "per_task_history": [dict(entry) for entry in self.evaluator.per_task_history],
+            },
+            "faults": None if self.fault_injector is None else self.fault_injector.state_dict(),
+            "checkpoints_written": self.checkpoints_written,
+        }
+
+    def _write_checkpoint(self, start_task: int, start_round: int) -> None:
+        """Persist a snapshot that resumes at ``(start_task, start_round)``."""
+        if not self.config.checkpoint_dir:
+            return
+        path = os.path.join(
+            self.config.checkpoint_dir, checkpoint_name(start_task, start_round)
+        )
+        save_checkpoint(path, self._checkpoint_payload(start_task, start_round))
+        self.checkpoints_written += 1
+        logger.debug("wrote checkpoint %s", path)
+
+    def _restore(self, payload: Dict[str, object]) -> None:
+        """Load a checkpoint payload into this (freshly constructed) simulation."""
+        with default_dtype(self.config.dtype):
+            server_state = payload["server"]
+            state, broadcast_payload = _split_message(
+                dict(server_state["arrays"]), server_state["skeleton"], self.method.payload_codec()
+            )
+            self.server.global_state = state
+            self.server.broadcast_payload = broadcast_payload
+            self.server.round_counter = server_state["round_counter"]
+            self.server.invalidate_broadcast()
+            self.model.load_state_dict(state)
+            # Swap the method's state in place: the evaluator (and any
+            # parallel eval backend) holds bound references to *this* method
+            # object, so the object identity must survive the restore.
+            restored = pickle.loads(payload["method_blob"])
+            self.method.__dict__.clear()
+            self.method.__dict__.update(restored.__dict__)
+            ledger = pickle.loads(payload["ledger_blob"])
+            self.server.ledger = ledger
+            self.transport.ledger = ledger
+            self.transport.load_state_dict(payload["transport"])
+            self.round_losses[:] = payload["round_losses"]
+            self.round_loss_components[:] = payload["round_loss_components"]
+            self.round_eval_history[:] = payload["round_eval_history"]
+            self.event_log[:] = payload["event_log"]
+            self.clock.now = payload["clock"]["now"]
+            self.clock._seq = payload["clock"]["seq"]
+            self.evaluator.accuracy_matrix._matrix[:] = payload["evaluator"]["matrix"]
+            self.evaluator.per_task_history[:] = payload["evaluator"]["per_task_history"]
+            if self.fault_injector is not None and payload["faults"] is not None:
+                self.fault_injector.load_state_dict(payload["faults"])
+            self.checkpoints_written = payload["checkpoints_written"]
+
+    def _maybe_resume(self) -> Tuple[int, int]:
+        """Restore the latest checkpoint, returning the (task, round) to start at.
+
+        A directory with no checkpoint yet means a fresh start — the same
+        command line works for the first launch and for every relaunch after
+        a crash.  A checkpoint from an incompatibly configured run raises
+        :class:`CheckpointMismatchError` rather than silently diverging.
+        """
+        path = latest_checkpoint(self.config.checkpoint_dir)
+        if path is None:
+            return 0, 0
+        payload = load_checkpoint(path)
+        expected = config_fingerprint(self.config)
+        if payload.get("fingerprint") != expected:
+            raise CheckpointMismatchError(
+                f"checkpoint {path!r} was written under a different configuration "
+                "(fingerprint mismatch); refusing to resume into a diverging run"
+            )
+        self._restore(payload)
+        self._resumed_from = path
+        logger.info(
+            "resumed from %s at task %d round %d",
+            path,
+            payload["start_task"],
+            payload["start_round"],
+        )
+        return payload["start_task"], payload["start_round"]
+
+    def _fault_stats(self) -> Dict[str, object]:
+        stats: Dict[str, object] = {}
+        if self.fault_injector is not None:
+            stats.update(self.fault_injector.summary())
+            if isinstance(self.executor, ParallelExecutor):
+                stats["worker_respawns"] = self.executor.respawns
+        if self.checkpoints_written or self._resumed_from is not None:
+            stats["checkpoints_written"] = self.checkpoints_written
+            stats["resumed_from"] = self._resumed_from
+        return stats
+
+    # ------------------------------------------------------------------ #
     # Public API
     # ------------------------------------------------------------------ #
-    def run_task(self, task: Task) -> Dict[str, float]:
+    def run_task(self, task: Task, start_round: int = 0, *, resumed: bool = False) -> Dict[str, float]:
         """Run one task — rounds in sync mode, the event loop otherwise —
-        and return per-domain evaluation accuracies."""
+        and return per-domain evaluation accuracies.
+
+        ``start_round``/``resumed`` are the resume path's entry point: a
+        mid-task checkpoint re-enters the round loop at ``start_round`` and
+        must not replay ``on_task_start`` (it already ran before round 0 of
+        the original process); data assignment always replays, because client
+        shards are derived state the checkpoint deliberately does not carry.
+        """
         with default_dtype(self.config.dtype):
-            self.method.on_task_start(task.task_id, self.server)
-            self.server.invalidate_broadcast()
+            if not resumed:
+                self.method.on_task_start(task.task_id, self.server)
+                self.server.invalidate_broadcast()
             self._assign_task_data(task)
             if self.config.mode == "sync":
-                for round_index in range(self.config.rounds_per_task):
+                for round_index in range(start_round, self.config.rounds_per_task):
                     if self._time_exhausted():
                         self.log_event(
                             "skipped_round", task_id=task.task_id, round_index=round_index
                         )
                         continue
                     self._run_round(task, round_index)
+                    if (
+                        self.config.checkpoint_every > 0
+                        and (round_index + 1) % self.config.checkpoint_every == 0
+                        and round_index + 1 < self.config.rounds_per_task
+                    ):
+                        self._write_checkpoint(task.task_id, round_index + 1)
             else:
                 self._temporal_runner.run_task(task)
             self.method.on_task_end(task.task_id, self.server)
@@ -442,11 +716,36 @@ class FederatedDomainIncrementalSimulation:
                 return self.evaluator.evaluate_after_task(self.model, task.task_id)
 
     def run(self) -> SimulationResult:
-        """Run the complete domain-incremental stream and return the summary."""
+        """Run the complete domain-incremental stream and return the summary.
+
+        With ``checkpoint_dir`` set, a snapshot lands after every task (plus
+        every ``checkpoint_every`` rounds in sync mode); with ``resume=True``
+        the run first restores the latest snapshot and replays only the data
+        assignment of already-finished tasks — the training they did lives in
+        the checkpoint, so a killed-and-relaunched run reproduces the
+        uninterrupted run bit-for-bit.
+        """
         try:
             with self.timer.measure("total"):
+                start_task, start_round = 0, 0
+                if self.config.resume:
+                    start_task, start_round = self._maybe_resume()
                 for task in self.scenario:
-                    results = self.run_task(task)
+                    if task.task_id < start_task:
+                        # Already trained before the checkpoint: replay only
+                        # the deterministic data assignment, so later tasks'
+                        # in-between clients see the right previous shards.
+                        with default_dtype(self.config.dtype):
+                            self._assign_task_data(task)
+                        continue
+                    resumed_here = task.task_id == start_task and start_round > 0
+                    results = self.run_task(
+                        task,
+                        start_round=start_round if resumed_here else 0,
+                        resumed=resumed_here,
+                    )
+                    if self.config.checkpoint_dir:
+                        self._write_checkpoint(task.task_id + 1, 0)
                     logger.info(
                         "[%s] task %d (%s): %s",
                         self.method.name,
@@ -468,6 +767,7 @@ class FederatedDomainIncrementalSimulation:
             round_eval_history=self.round_eval_history,
             sim_time=self.clock.now,
             event_log=self.event_log,
+            fault_stats=self._fault_stats(),
         )
 
     def close(self) -> None:
@@ -476,13 +776,20 @@ class FederatedDomainIncrementalSimulation:
         Shuts down both executors: the training executor and — when the
         simulation owns a dedicated parallel eval pool (``executor="serial"``
         with ``eval_executor="parallel"``) — the eval executor too.  Called
-        by :meth:`run` on every exit path; use the simulation as a context
-        manager when driving tasks manually via :meth:`run_task`.
+        by :meth:`run` on every exit path, including after a mid-round
+        failure such as :class:`repro.federated.execution.WorkerDiedError` —
+        each stage releases even when an earlier one raises, so no pool is
+        ever leaked.  Use the simulation as a context manager when driving
+        tasks manually via :meth:`run_task`.
         """
-        self.transport.finalize()
-        self.executor.close()
-        if self._owns_eval_executor and self.eval_executor is not None:
-            self.eval_executor.close()
+        try:
+            self.transport.finalize()
+        finally:
+            try:
+                self.executor.close()
+            finally:
+                if self._owns_eval_executor and self.eval_executor is not None:
+                    self.eval_executor.close()
 
     def __enter__(self) -> "FederatedDomainIncrementalSimulation":
         return self

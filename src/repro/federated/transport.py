@@ -47,6 +47,7 @@ delivered anyway — a server that aggregates nothing is not a round.
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -72,6 +73,69 @@ from repro.utils.rng import spawn_rng
 
 _STATE_PREFIX = "s::"
 _PAYLOAD_PREFIX = "p::"
+
+
+class TransportError(RuntimeError):
+    """A frame-level transport failure, carrying the frame's coordinates.
+
+    The bare ``ValueError`` the codecs raise on a malformed frame says
+    nothing about *whose* frame failed *where*; retry and drop policies (and
+    the tests discriminating corruption from budget drops) need the
+    coordinates, so every decode/verify failure surfaces as a subclass of
+    this carrying ``(client_id, direction, task_id, round_index)``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        client_id: Optional[int] = None,
+        direction: Optional[str] = None,
+        task_id: Optional[int] = None,
+        round_index: Optional[Any] = None,
+    ) -> None:
+        context = ", ".join(
+            f"{name}={value!r}"
+            for name, value in (
+                ("client_id", client_id),
+                ("direction", direction),
+                ("task_id", task_id),
+                ("round_index", round_index),
+            )
+            if value is not None
+        )
+        super().__init__(f"{message} [{context}]" if context else message)
+        self.client_id = client_id
+        self.direction = direction
+        self.task_id = task_id
+        self.round_index = round_index
+
+
+class FrameCorruptionError(TransportError):
+    """A frame's body failed its checksum: corrupted in transit."""
+
+
+class FrameDecodeError(TransportError):
+    """A checksum-clean frame could not be decoded back into arrays."""
+
+
+def verify_frame(
+    frame: WireFrame,
+    *,
+    client_id: Optional[int] = None,
+    direction: Optional[str] = None,
+    task_id: Optional[int] = None,
+    round_index: Optional[Any] = None,
+) -> None:
+    """Raise :class:`FrameCorruptionError` when the frame fails its checksum."""
+    if not frame.checksum_ok():
+        raise FrameCorruptionError(
+            f"{frame.kind} frame failed its CRC32 checksum ({frame.num_bytes} bytes)",
+            client_id=client_id,
+            direction=direction,
+            task_id=task_id,
+            round_index=round_index,
+        )
 
 
 def _flatten_message(
@@ -122,6 +186,11 @@ class Transport:
         #: the client paid for the transfer either way).
         self.last_broadcast_bytes: Dict[int, int] = {}
         self.last_upload_bytes: Dict[int, int] = {}
+        #: Per-client simulated seconds of retry backoff accumulated in the
+        #: most recent :meth:`collect_updates` — zero everywhere unless the
+        #: fault plane lost or corrupted attempts.  The temporal plane adds
+        #: these to the client's cycle cost.
+        self.last_penalty_seconds: Dict[int, float] = {}
 
     def broadcast_round(
         self,
@@ -139,6 +208,29 @@ class Transport:
 
     def finalize(self) -> None:
         """Account anything still in flight when the run ends (idempotent)."""
+
+    def restart(self) -> None:
+        """Simulate a server process restart: drop protocol soft state.
+
+        Durable state (the model, the ledger, the method) survives a restart
+        only through checkpoints; what a transport loses is its in-memory
+        session state — delta acknowledgements, deferred uploads.  The base
+        transport holds none.
+        """
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Snapshot the transport's session state for a checkpoint."""
+        return {
+            "last_broadcast_bytes": dict(self.last_broadcast_bytes),
+            "last_upload_bytes": dict(self.last_upload_bytes),
+            "last_penalty_seconds": dict(self.last_penalty_seconds),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        self.last_broadcast_bytes = dict(state["last_broadcast_bytes"])
+        self.last_upload_bytes = dict(state["last_upload_bytes"])
+        self.last_penalty_seconds = dict(state["last_penalty_seconds"])
 
 
 class DirectTransport(Transport):
@@ -205,6 +297,9 @@ class LoopbackTransport(Transport):
         seed: int = 0,
         bandwidth_limit: int = 0,
         drop_stragglers: bool = False,
+        retries: int = 2,
+        retry_backoff: float = 0.5,
+        faults=None,
     ) -> None:
         super().__init__(ledger)
         self.codec = codec
@@ -216,6 +311,16 @@ class LoopbackTransport(Transport):
         self.seed = seed
         self.bandwidth_limit = bandwidth_limit
         self.drop_stragglers = drop_stragglers
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        if retry_backoff < 0:
+            raise ValueError("retry_backoff must be non-negative")
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        #: Optional :class:`~repro.federated.faults.FaultInjector` deciding
+        #: which transmission attempts are lost or corrupted; ``None`` (the
+        #: default) keeps the upload path free of fault draws entirely.
+        self.faults = faults
         self._ack: Dict[int, Dict[str, np.ndarray]] = {}
         self._budgets: Dict[int, int] = {}
         self._pending: Optional[_PendingRound] = None
@@ -280,7 +385,22 @@ class LoopbackTransport(Transport):
                 frame = encode_frame("broadcast", self.down_codec, flat, skeleton, ref)
                 frames.extend(FrameRecord(cid, frame.num_bytes) for cid in members)
                 if decoded_handle is None:
-                    arrays, meta = decode_frame(frame, self.down_codec, ref)
+                    verify_frame(
+                        frame,
+                        client_id=members[0],
+                        direction="broadcast",
+                        task_id=task_id,
+                        round_index=round_index,
+                    )
+                    arrays, meta = self._decode_frame_checked(
+                        frame,
+                        self.down_codec,
+                        ref,
+                        client_id=members[0],
+                        direction="broadcast",
+                        task_id=task_id,
+                        round_index=round_index,
+                    )
                     state, payload = _split_message(arrays, meta, self.payload_codec)
                     decoded_handle = BroadcastHandle(state, payload)
                     received = arrays
@@ -318,10 +438,48 @@ class LoopbackTransport(Transport):
         }
         return encode_frame("upload", self.codec, arrays, meta, reference)
 
+    @staticmethod
+    def _decode_frame_checked(
+        frame: WireFrame,
+        codec: ArrayCodec,
+        reference: Optional[Dict[str, np.ndarray]],
+        *,
+        client_id: Optional[int],
+        direction: str,
+        task_id: Optional[int],
+        round_index: Optional[Any],
+    ) -> Tuple[Dict[str, np.ndarray], Any]:
+        """Decode a frame, converting codec failures into typed transport errors."""
+        try:
+            return decode_frame(frame, codec, reference)
+        except (ValueError, KeyError, EOFError, pickle.UnpicklingError) as error:
+            raise FrameDecodeError(
+                f"failed to decode {frame.kind} frame ({frame.num_bytes} bytes, "
+                f"codec {frame.codec!r}): {error}",
+                client_id=client_id,
+                direction=direction,
+                task_id=task_id,
+                round_index=round_index,
+            ) from error
+
     def _decode_update(
-        self, frame: WireFrame, reference: Dict[str, np.ndarray]
+        self,
+        frame: WireFrame,
+        reference: Dict[str, np.ndarray],
+        *,
+        task_id: Optional[int] = None,
+        round_index: Optional[Any] = None,
+        client_id: Optional[int] = None,
     ) -> ClientUpdate:
-        arrays, meta = decode_frame(frame, self.codec, reference)
+        arrays, meta = self._decode_frame_checked(
+            frame,
+            self.codec,
+            reference,
+            client_id=client_id,
+            direction="upload",
+            task_id=task_id,
+            round_index=round_index,
+        )
         state, payload = _split_message(arrays, meta["skeleton"], self.payload_codec)
         return ClientUpdate(
             client_id=meta["client_id"],
@@ -331,6 +489,56 @@ class LoopbackTransport(Transport):
             train_loss=meta["train_loss"],
             metrics=meta["metrics"],
         )
+
+    def _transmit(
+        self, client_id: int, frame: WireFrame, pending: _PendingRound
+    ) -> Tuple[int, float, List[FrameRecord], bool]:
+        """Carry one upload frame across the faulty wire with bounded retries.
+
+        Returns ``(attempts, penalty_seconds, failed_attempt_records,
+        arrived)``.  Each attempt may be lost outright or corrupted (the
+        checksum rejects it); between failed attempts the client backs off
+        ``retry_backoff * 2**(attempt-1)`` simulated seconds.  At most
+        ``retries + 1`` attempts are made — the property tests' bound.
+        Without an injector (or with both frame-fault rates zero) this is a
+        single successful attempt with zero draws and zero penalty.
+        """
+        injector = self.faults
+        if injector is None or (
+            injector.spec.upload_loss_rate <= 0.0
+            and injector.spec.upload_corruption_rate <= 0.0
+        ):
+            return 1, 0.0, [], True
+        task_id, round_index = pending.task_id, pending.round_index
+        records: List[FrameRecord] = []
+        penalty = 0.0
+        max_attempts = self.retries + 1
+        for attempt in range(1, max_attempts + 1):
+            lost = injector.upload_lost(task_id, round_index, client_id, attempt)
+            if not lost:
+                attempt_frame = frame
+                if injector.upload_corrupted(task_id, round_index, client_id, attempt):
+                    attempt_frame = injector.corrupt_frame(
+                        frame, task_id, round_index, client_id, attempt
+                    )
+                try:
+                    verify_frame(
+                        attempt_frame,
+                        client_id=client_id,
+                        direction="upload",
+                        task_id=task_id,
+                        round_index=round_index,
+                    )
+                except FrameCorruptionError:
+                    pass
+                else:
+                    return attempt, penalty, records, True
+            records.append(
+                FrameRecord(client_id, frame.num_bytes, "lost" if lost else "corrupt")
+            )
+            if attempt < max_attempts:
+                penalty += self.retry_backoff * (2.0 ** (attempt - 1))
+        return max_attempts, penalty, records, False
 
     def collect_updates(self, updates):
         if self._pending is None:
@@ -343,6 +551,7 @@ class LoopbackTransport(Transport):
         frames: List[FrameRecord] = []
         over_budget: List[Tuple[ClientUpdate, WireFrame]] = []
         self.last_upload_bytes = {}
+        self.last_penalty_seconds = {}
         for update in updates:
             frame = self._encode_update(update, pending.received)
             self.last_upload_bytes[update.client_id] = frame.num_bytes
@@ -350,9 +559,46 @@ class LoopbackTransport(Transport):
             if budget is not None and frame.num_bytes > budget:
                 over_budget.append((update, frame))
                 continue
+            attempts, penalty, attempt_records, arrived = self._transmit(
+                update.client_id, frame, pending
+            )
+            frames.extend(attempt_records)
+            if attempts > 1:
+                # Every attempt crossed the wire; the client paid for all of
+                # them (and for the backoff waits between them).
+                self.last_upload_bytes[update.client_id] = frame.num_bytes * attempts
+                self.last_penalty_seconds[update.client_id] = penalty
+            if not arrived:
+                # Retries exhausted: the update is a straggler under the
+                # existing drop/defer rules — the in-process copy of the
+                # frame is intact, so a deferral re-requests it next round.
+                if self.drop_stragglers:
+                    frames.append(FrameRecord(update.client_id, frame.num_bytes, "dropped"))
+                else:
+                    decoded = (
+                        update
+                        if identity
+                        else self._decode_update(
+                            frame,
+                            pending.received,
+                            task_id=pending.task_id,
+                            round_index=pending.round_index,
+                            client_id=update.client_id,
+                        )
+                    )
+                    self._deferred.append(_DeferredUpload(decoded, frame.num_bytes))
+                continue
             frames.append(FrameRecord(update.client_id, frame.num_bytes))
             delivered.append(
-                update if identity else self._decode_update(frame, pending.received)
+                update
+                if identity
+                else self._decode_update(
+                    frame,
+                    pending.received,
+                    task_id=pending.task_id,
+                    round_index=pending.round_index,
+                    client_id=update.client_id,
+                )
             )
 
         # Last round's deferred stragglers arrive with this round's uploads.
@@ -369,13 +615,32 @@ class LoopbackTransport(Transport):
             update, frame = over_budget.pop(0)
             frames.append(FrameRecord(update.client_id, frame.num_bytes))
             delivered.insert(
-                0, update if identity else self._decode_update(frame, pending.received)
+                0,
+                update
+                if identity
+                else self._decode_update(
+                    frame,
+                    pending.received,
+                    task_id=pending.task_id,
+                    round_index=pending.round_index,
+                    client_id=update.client_id,
+                ),
             )
         for update, frame in over_budget:
             if self.drop_stragglers:
                 frames.append(FrameRecord(update.client_id, frame.num_bytes, "dropped"))
             else:
-                decoded = update if identity else self._decode_update(frame, pending.received)
+                decoded = (
+                    update
+                    if identity
+                    else self._decode_update(
+                        frame,
+                        pending.received,
+                        task_id=pending.task_id,
+                        round_index=pending.round_index,
+                        client_id=update.client_id,
+                    )
+                )
                 self._deferred.append(_DeferredUpload(decoded, frame.num_bytes))
 
         frames.sort(key=lambda record: (record.status != "ok", record.client_id))
@@ -402,6 +667,42 @@ class LoopbackTransport(Transport):
             self.ledger.record_expired_uploads(len(self._deferred))
             self._deferred.clear()
 
+    def restart(self) -> None:
+        """Simulate a server process restart mid-run.
+
+        The protocol soft state dies with the process: delta acknowledgements
+        are forgotten (the next broadcast to every client goes dense — the
+        recovery cost the bench measures) and deferred uploads still in the
+        restarting server's memory expire.  The model, ledger and method are
+        the *simulation's* durable state and survive outside the transport.
+        """
+        if self._pending is not None:
+            raise RuntimeError("cannot restart the server with a round in flight")
+        self._ack.clear()
+        if self._deferred:
+            self.ledger.record_expired_uploads(len(self._deferred))
+            self._deferred.clear()
+
+    def state_dict(self) -> Dict[str, Any]:
+        if self._pending is not None:
+            raise RuntimeError("cannot snapshot a transport with a round in flight")
+        state = super().state_dict()
+        state.update(
+            ack=self._ack,
+            budgets=dict(self._budgets),
+            deferred=list(self._deferred),
+            last_task_id=self._last_task_id,
+        )
+        return state
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        super().load_state_dict(state)
+        self._ack = dict(state["ack"])
+        self._budgets = dict(state["budgets"])
+        self._deferred = list(state["deferred"])
+        self._last_task_id = state["last_task_id"]
+        self._pending = None
+
 
 def build_transport(
     transport: str,
@@ -411,6 +712,9 @@ def build_transport(
     seed: int = 0,
     bandwidth_limit: int = 0,
     drop_stragglers: bool = False,
+    retries: int = 2,
+    retry_backoff: float = 0.5,
+    faults=None,
 ) -> Transport:
     """Construct a transport from the :class:`FederatedConfig` knobs."""
     if transport == "direct":
@@ -423,6 +727,9 @@ def build_transport(
             seed=seed,
             bandwidth_limit=bandwidth_limit,
             drop_stragglers=drop_stragglers,
+            retries=retries,
+            retry_backoff=retry_backoff,
+            faults=faults,
         )
     raise ValueError(f"unknown transport {transport!r}; choose 'direct' or 'loopback'")
 
@@ -431,5 +738,9 @@ __all__ = [
     "Transport",
     "DirectTransport",
     "LoopbackTransport",
+    "TransportError",
+    "FrameCorruptionError",
+    "FrameDecodeError",
+    "verify_frame",
     "build_transport",
 ]
