@@ -175,6 +175,30 @@ def quantity_shift_partition(
     ]
 
 
+def partition_indices_for_clients(
+    labels: np.ndarray,
+    client_ids: Sequence[int],
+    rng: np.random.Generator,
+    concentration: float = 1.0,
+) -> Dict[int, np.ndarray]:
+    """Partition a domain's sample *indices* across the given clients.
+
+    The index-level half of :func:`partition_domain_across_clients`: it
+    performs the exact same RNG draws on the exact same inputs, so the index
+    arrays are identical to the ones behind the eager shards — this is what
+    lets the virtual-client plane defer the expensive ``dataset.subset``
+    (image copies) to selection time while staying bit-for-bit with the
+    eager path.  Labels are cheap (one int per sample), so computing every
+    client's indices up front costs O(domain), not O(domain x image size).
+    """
+    if not client_ids:
+        return {}
+    partitions = quantity_shift_partition(labels, len(client_ids), rng, concentration)
+    return {
+        client_id: indices for client_id, indices in zip(client_ids, partitions)
+    }
+
+
 def partition_domain_across_clients(
     dataset: ArrayDataset,
     client_ids: Sequence[int],
@@ -185,13 +209,15 @@ def partition_domain_across_clients(
 
     Returns a mapping from client id to that client's local shard.
     """
-    if not client_ids:
-        return {}
-    partitions = quantity_shift_partition(dataset.labels, len(client_ids), rng, concentration)
+    index_map = partition_indices_for_clients(dataset.labels, client_ids, rng, concentration)
     return {
         client_id: dataset.subset(indices)
-        for client_id, indices in zip(client_ids, partitions)
+        for client_id, indices in index_map.items()
     }
 
 
-__all__ = ["quantity_shift_partition", "partition_domain_across_clients"]
+__all__ = [
+    "quantity_shift_partition",
+    "partition_indices_for_clients",
+    "partition_domain_across_clients",
+]

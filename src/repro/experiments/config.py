@@ -156,6 +156,10 @@ def scaled_config(
     checkpoint_every: int = 0,
     checkpoint_dir: str = "",
     resume: bool = False,
+    virtual_clients: bool = False,
+    population: int = 0,
+    reduce_backend: str = "flat",
+    tree_fanout: int = 2,
 ) -> ScaledExperimentConfig:
     """Build the full configuration for one dataset at one scale.
 
@@ -182,7 +186,12 @@ def scaled_config(
     :class:`~repro.federated.faults.FaultSpec` schedule, None = no faults),
     ``retries`` / ``retry_backoff`` (upload retry bound and backoff seconds),
     and ``checkpoint_every`` / ``checkpoint_dir`` / ``resume`` (crash-safe
-    checkpoint cadence, location and relaunch behaviour).
+    checkpoint cadence, location and relaunch behaviour), and the hierarchy
+    plane's ``virtual_clients`` (lazy ``(seed, partition-spec)`` client
+    recipes, materialized per cohort), ``population`` (fleet size for
+    schedule-free virtual populations, 0 = schedule-driven),
+    ``reduce_backend`` (``"flat"`` star FedAvg / ``"tree"`` fan-out edge
+    aggregation) and ``tree_fanout`` (children per tree node).
     """
     scale = scale if scale is not None else get_scale()
     knobs = dict(_SCALE_KNOBS[scale])
@@ -243,6 +252,10 @@ def scaled_config(
         checkpoint_every=checkpoint_every,
         checkpoint_dir=checkpoint_dir,
         resume=resume,
+        virtual_clients=virtual_clients,
+        population=population,
+        reduce_backend=reduce_backend,
+        tree_fanout=tree_fanout,
     )
     return ScaledExperimentConfig(
         dataset_name=dataset_name,

@@ -115,6 +115,19 @@ def _normalize_execution_knobs(federated: FederatedConfig) -> FederatedConfig:
     elif faults.upload_loss_rate == 0.0 and faults.upload_corruption_rate == 0.0:
         retries = FederatedConfig.retries
         retry_backoff = FederatedConfig.retry_backoff
+    # Hierarchy-plane knobs: with ``population == 0`` the virtual plane is a
+    # lazy re-materialization of the exact eager shards (the hierarchy suite
+    # asserts it bit-for-bit), so ``virtual_clients`` folds away; a fleet
+    # population genuinely changes the cohorts and stays.  A flat reduce never
+    # consults ``tree_fanout``, so the fanout folds under ``"flat"``; the tree
+    # backend itself stays in the key — its partial sums agree with flat only
+    # to accumulation-dtype tolerance, not bit-for-bit.
+    virtual_clients = federated.virtual_clients
+    tree_fanout = federated.tree_fanout
+    if federated.population == 0:
+        virtual_clients = False
+    if federated.reduce_backend == "flat":
+        tree_fanout = FederatedConfig.tree_fanout
     return replace(
         federated,
         executor="serial",
@@ -134,6 +147,8 @@ def _normalize_execution_knobs(federated: FederatedConfig) -> FederatedConfig:
         checkpoint_every=0,
         checkpoint_dir="",
         resume=False,
+        virtual_clients=virtual_clients,
+        tree_fanout=tree_fanout,
     )
 
 

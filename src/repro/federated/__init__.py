@@ -9,14 +9,24 @@ that drives any :class:`repro.federated.method.FederatedMethod` (RefFiL or a
 baseline) over a continual scenario.
 """
 
-from repro.federated.aggregation import blend_states, fedavg, staleness_weight, weighted_average_arrays
-from repro.federated.sampling import NoAvailableClientsError, sample_clients
+from repro.federated.aggregation import (
+    FlatReduceBackend,
+    ReduceBackend,
+    TreeReduceBackend,
+    blend_states,
+    build_reduce_backend,
+    fedavg,
+    staleness_weight,
+    weighted_average_arrays,
+)
+from repro.federated.sampling import NoAvailableClientsError, sample_clients, sample_clients_lazy
 from repro.federated.clock import (
     CostModel,
     DeviceProfile,
     Event,
     EventScheduler,
     PROFILE_TIERS,
+    ProfileCache,
     build_profile,
 )
 from repro.federated.async_plane import ASYNC_MIXING, TemporalPlaneRunner
@@ -38,7 +48,14 @@ from repro.federated.communication import (
     build_codec,
     codec_is_lossless,
 )
-from repro.federated.client import ClientHandle, LocalTrainingConfig, ShardRef, run_local_sgd
+from repro.federated.client import (
+    ClientHandle,
+    LocalTrainingConfig,
+    ShardRef,
+    VirtualClientSpec,
+    run_local_sgd,
+)
+from repro.federated.virtual import VirtualClientPlane
 from repro.federated.server import BroadcastHandle, FederatedServer
 from repro.federated.transport import (
     DirectTransport,
@@ -86,13 +103,19 @@ __all__ = [
     "blend_states",
     "staleness_weight",
     "weighted_average_arrays",
+    "ReduceBackend",
+    "FlatReduceBackend",
+    "TreeReduceBackend",
+    "build_reduce_backend",
     "sample_clients",
+    "sample_clients_lazy",
     "NoAvailableClientsError",
     "CostModel",
     "DeviceProfile",
     "Event",
     "EventScheduler",
     "PROFILE_TIERS",
+    "ProfileCache",
     "build_profile",
     "ASYNC_MIXING",
     "TemporalPlaneRunner",
@@ -134,6 +157,8 @@ __all__ = [
     "ClientHandle",
     "LocalTrainingConfig",
     "ShardRef",
+    "VirtualClientSpec",
+    "VirtualClientPlane",
     "run_local_sgd",
     "BroadcastHandle",
     "FederatedServer",

@@ -60,7 +60,11 @@ from repro.federated.aggregation import staleness_weight
 from repro.federated.client import ClientHandle
 from repro.federated.communication import ClientUpdate
 from repro.federated.execution import ParallelExecutor
-from repro.federated.sampling import NoAvailableClientsError, sample_clients
+from repro.federated.sampling import (
+    NoAvailableClientsError,
+    sample_clients,
+    sample_clients_lazy,
+)
 from repro.utils.logging_utils import get_logger
 from repro.utils.rng import spawn_rng
 
@@ -95,17 +99,29 @@ class TemporalPlaneRunner:
         sim = self.sim
         config = sim.config
         self._task = task
-        self._assignment = sim.schedule.assignment_for_task(task.task_id)
-        self._eligible = [
-            client_id
-            for client_id in self._assignment.active_clients
-            if client_id in sim._training_data and len(sim._training_data[client_id]) > 0
-        ]
-        if not self._eligible:
-            raise RuntimeError(
-                f"no client has training data for task {task.task_id}; "
-                "check the increment schedule and partitioning configuration"
-            )
+        self._fleet = sim.virtual is not None and sim.virtual.fleet
+        if self._fleet:
+            # Fleet mode: the population is never enumerated.  Eligibility,
+            # churn and availability all become lazy per-probe predicates of
+            # the candidate's id; the schedule plane is bypassed entirely.
+            self._assignment = None
+            self._eligible = None
+        else:
+            self._assignment = sim.schedule.assignment_for_task(task.task_id)
+            if sim.virtual is not None:
+                self._eligible = sim.virtual.eligible(self._assignment)
+            else:
+                self._eligible = [
+                    client_id
+                    for client_id in self._assignment.active_clients
+                    if client_id in sim._training_data
+                    and len(sim._training_data[client_id]) > 0
+                ]
+            if not self._eligible:
+                raise RuntimeError(
+                    f"no client has training data for task {task.task_id}; "
+                    "check the increment schedule and partitioning configuration"
+                )
         self._budget = config.rounds_per_task * config.clients_per_round
         self._buffer_k = config.buffer_size or config.clients_per_round
         self._dispatched = 0
@@ -122,20 +138,26 @@ class TemporalPlaneRunner:
         #: Buffered mode's pending arrivals: (update, global version at dispatch).
         self._buffer: List[Tuple[ClientUpdate, int]] = []
 
-        # Churn is constant within a task, so the surviving set is computed
-        # once here; per-probe filtering below only draws availability.
-        self._present = [
-            client_id
-            for client_id in self._eligible
-            if sim.profile_for(client_id).in_task(config.seed, task.task_id)
-        ]
-        if not self._present:
-            # Every eligible device churned out for this whole task: nothing
-            # trains, the run continues (evaluation still measures the model).
-            sim.log_event("task_offline", task_id=task.task_id, eligible=len(self._eligible))
-            return
-
-        concurrency = min(config.clients_per_round, len(self._eligible))
+        if self._fleet:
+            # No materialized presence list under a virtual population: churn
+            # is folded into the per-probe predicate instead (still the same
+            # once-per-(client, task) draw — ``in_task`` is a pure function).
+            self._present = None
+            concurrency = min(config.clients_per_round, config.population)
+        else:
+            # Churn is constant within a task, so the surviving set is computed
+            # once here; per-probe filtering below only draws availability.
+            self._present = [
+                client_id
+                for client_id in self._eligible
+                if sim.profile_for(client_id).in_task(config.seed, task.task_id)
+            ]
+            if not self._present:
+                # Every eligible device churned out for this whole task: nothing
+                # trains, the run continues (evaluation still measures the model).
+                sim.log_event("task_offline", task_id=task.task_id, eligible=len(self._eligible))
+                return
+            concurrency = min(config.clients_per_round, len(self._eligible))
         for _ in range(concurrency):
             self._try_dispatch()
 
@@ -177,20 +199,21 @@ class TemporalPlaneRunner:
                     remaining_budget=self._budget - self._dispatched,
                 )
             return
-        present = [cid for cid in self._present if cid not in self._in_flight]
-        if not present:
-            # Either every churn-surviving client is mid-training (an arrival
-            # will re-try) or only churned-out devices remain with nothing in
-            # flight — and nothing rebooting that could come back — to free
-            # another; then the budget cannot be spent.
-            if not self._in_flight and not self._rebooting:
-                self._abandoned = True
-                sim.log_event(
-                    "budget_abandoned",
-                    task_id=task_id,
-                    remaining_budget=self._budget - self._dispatched,
-                )
-            return
+        if not self._fleet:
+            present = [cid for cid in self._present if cid not in self._in_flight]
+            if not present:
+                # Either every churn-surviving client is mid-training (an arrival
+                # will re-try) or only churned-out devices remain with nothing in
+                # flight — and nothing rebooting that could come back — to free
+                # another; then the budget cannot be spent.
+                if not self._in_flight and not self._rebooting:
+                    self._abandoned = True
+                    sim.log_event(
+                        "budget_abandoned",
+                        task_id=task_id,
+                        remaining_budget=self._budget - self._dispatched,
+                    )
+                return
         slot = self._probe
         self._probe += 1
         if self._probe > _MAX_PROBES_PER_TASK:
@@ -201,16 +224,29 @@ class TemporalPlaneRunner:
             )
         rng = spawn_rng(config.seed, "async-selection", task_id, slot)
         try:
-            chosen = sample_clients(
-                present,
-                1,
-                rng,
-                # present already passed the per-task churn filter; only the
-                # per-slot availability component is drawn here.
-                available=lambda cid: sim.profile_for(cid).available_at(
-                    config.seed, task_id, slot
-                ),
-            )
+            if self._fleet:
+                # O(1)-per-candidate rejection sampling over the virtual
+                # population: churn and availability are drawn lazily for the
+                # probed ids only, never for the whole fleet.
+                chosen = sample_clients_lazy(
+                    config.population,
+                    1,
+                    rng,
+                    available=lambda cid: sim.profile_for(cid).in_task(config.seed, task_id)
+                    and sim.profile_for(cid).available_at(config.seed, task_id, slot),
+                    exclude=self._in_flight | self._rebooting,
+                )
+            else:
+                chosen = sample_clients(
+                    present,
+                    1,
+                    rng,
+                    # present already passed the per-task churn filter; only the
+                    # per-slot availability component is drawn here.
+                    available=lambda cid: sim.profile_for(cid).available_at(
+                        config.seed, task_id, slot
+                    ),
+                )
         except NoAvailableClientsError:
             # Everyone is momentarily offline: the server backs off one idle
             # tick and probes again (a fresh slot, hence fresh availability
@@ -264,11 +300,11 @@ class TemporalPlaneRunner:
         handle = ClientHandle(
             client_id=client_id,
             task_id=task_id,
-            group=self._assignment.group_of(client_id),
-            dataset=sim._training_data[client_id],
+            group=sim._client_group(self._assignment, client_id),
+            dataset=sim._client_dataset(client_id),
             rng=spawn_rng(config.seed, "client", client_id, task_id, "event", index),
             training=config.local,
-            domains_held=tuple(sim._domains_held.get(client_id, [])),
+            domains_held=sim._client_domains(client_id),
             metadata={
                 "round_index": float(cohort),
                 "rounds_per_task": float(config.rounds_per_task),
@@ -297,9 +333,10 @@ class TemporalPlaneRunner:
         sim = self.sim
         client_id = event.client_id
         self._in_flight.discard(client_id)
-        index = bisect.bisect_left(self._present, client_id)
-        if index < len(self._present) and self._present[index] == client_id:
-            del self._present[index]
+        if self._present is not None:
+            index = bisect.bisect_left(self._present, client_id)
+            if index < len(self._present) and self._present[index] == client_id:
+                del self._present[index]
         self._rebooting.add(client_id)
         sim.clock.schedule(sim.cost_model.idle_seconds, "rejoin", client_id)
         sim.log_event(
@@ -315,7 +352,8 @@ class TemporalPlaneRunner:
         sim = self.sim
         client_id = event.client_id
         self._rebooting.discard(client_id)
-        bisect.insort(self._present, client_id)
+        if self._present is not None:
+            bisect.insort(self._present, client_id)
         sim.log_event("client_rejoin", task_id=self._task.task_id, client_id=client_id)
         self._try_dispatch()
 

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import heapq
 import math
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Tuple
 
@@ -227,6 +228,39 @@ def build_profile(tier: str, seed: int, client_id: int) -> DeviceProfile:
     )
 
 
+class ProfileCache:
+    """Bounded LRU of :class:`DeviceProfile`\\ s for fleet-scale populations.
+
+    Profiles are pure functions of ``(tier, seed, client_id)``, so eviction
+    is always safe — a miss just redraws the same profile bit-for-bit.  The
+    bound is what keeps the temporal plane O(cohort) in memory under a 100k+
+    virtual population: only recently consulted clients' profiles are
+    resident, instead of one profile per client ever seen.
+    """
+
+    def __init__(self, tier: str, seed: int, maxsize: int = 8192) -> None:
+        if maxsize < 1:
+            raise ValueError("ProfileCache maxsize must be positive")
+        self.tier = tier
+        self.seed = seed
+        self.maxsize = maxsize
+        self._cache: "OrderedDict[int, DeviceProfile]" = OrderedDict()
+
+    def get(self, client_id: int) -> DeviceProfile:
+        profile = self._cache.get(client_id)
+        if profile is None:
+            profile = build_profile(self.tier, self.seed, client_id)
+            self._cache[client_id] = profile
+            while len(self._cache) > self.maxsize:
+                self._cache.popitem(last=False)
+        else:
+            self._cache.move_to_end(client_id)
+        return profile
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+
 @dataclass(frozen=True)
 class CostModel:
     """Measured work -> simulated seconds; deterministic by construction.
@@ -260,5 +294,6 @@ __all__ = [
     "DeviceProfile",
     "CostModel",
     "PROFILE_TIERS",
+    "ProfileCache",
     "build_profile",
 ]

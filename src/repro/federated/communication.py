@@ -572,6 +572,16 @@ class CommunicationLedger:
     lost_frames: int = 0
     corrupt_frames: int = 0
     records: List[RoundCommRecord] = field(default_factory=list)
+    #: Hierarchical-aggregation traffic: edge aggregators shipping weighted
+    #: partial reduces up the tree (``reduce_backend="tree"``).  ``edge_bytes``
+    #: counts every transmission attempt (a retried hop paid the wire twice);
+    #: ``edge_frames`` counts delivered partials; the lost/corrupt counters
+    #: count failed per-attempt records, mirroring the upload-frame fault
+    #: accounting.  All zero under the flat star.
+    edge_bytes: int = 0
+    edge_frames: int = 0
+    edge_lost_frames: int = 0
+    edge_corrupt_frames: int = 0
 
     def record_round(
         self,
@@ -612,6 +622,17 @@ class CommunicationLedger:
         """Deferred uploads that never arrived (e.g. flushed at a task boundary)."""
         self.expired_uploads += count
 
+    def record_edge_reduce(self, frames: List[FrameRecord]) -> None:
+        """Account one tree reduce's edge→parent hops (all attempts)."""
+        for frame in frames:
+            self.edge_bytes += frame.num_bytes
+            if frame.status == "ok":
+                self.edge_frames += 1
+            elif frame.status == "lost":
+                self.edge_lost_frames += 1
+            elif frame.status == "corrupt":
+                self.edge_corrupt_frames += 1
+
     @property
     def measured(self) -> bool:
         """True when every recorded round came from actual encoded frames."""
@@ -619,7 +640,7 @@ class CommunicationLedger:
 
     @property
     def total_bytes(self) -> int:
-        return self.uploaded_bytes + self.broadcast_bytes
+        return self.uploaded_bytes + self.broadcast_bytes + self.edge_bytes
 
     def mean_upload_per_round(self) -> float:
         return self.uploaded_bytes / self.rounds if self.rounds else 0.0

@@ -174,6 +174,36 @@ class FederatedConfig:
         bookkeeping knobs excluded); a fresh directory silently starts from
         scratch, so the same command line works for the first launch and
         every relaunch after a crash.
+    virtual_clients:
+        Client identity becomes a lazy *recipe* instead of an eager object
+        (:mod:`repro.federated.virtual`): shards are materialized only for
+        the round's selected cohort (O(clients_per_round) memory) and
+        released afterwards.  With ``population=0`` the population is still
+        driven by ``increment`` and every materialized shard is bit-for-bit
+        identical to the eager path for the same seed — the whole run
+        reproduces the eager run exactly.  Default off (eager shards).
+    population:
+        ``0`` (default): the client population is whatever ``increment``
+        schedules.  A positive N switches to *fleet mode*: N virtual clients
+        (requires ``virtual_clients=True``), every one of them eligible for
+        every task, each drawing a per-task quantity-shift shard recipe from
+        ``spawn_rng(seed, "vshard", task_id, client_id)``.  Selection,
+        availability, churn and crash draws all stay O(cohort) per round, so
+        ``population=100_000`` costs the same memory as ``population=1_000``.
+    reduce_backend:
+        How a cohort's updates aggregate (:mod:`repro.federated.aggregation`):
+        ``"flat"`` (default) is the star — one server-side FedAvg, bit-for-bit
+        the historical path; ``"tree"`` reduces through a fan-out tree of edge
+        aggregators whose weighted partial sums ride codec'd wire frames to
+        their parents (edge→root bytes measured in the ledger, CRC + bounded
+        retries on every hop).  Tree and flat agree to float tolerance, not
+        bit-for-bit: flat normalizes weights before accumulating, the tree
+        sums partials and divides once at the root.  Requires
+        ``transport="loopback"`` (edge hops need a wire to ride).
+    tree_fanout:
+        Children per aggregator node of the reduce tree (≥ 2).  A cohort no
+        larger than the fan-out degenerates to a single root reduce with zero
+        edge frames.  Ignored when ``reduce_backend="flat"``.
     """
 
     increment: ClientIncrementConfig = field(default_factory=ClientIncrementConfig)
@@ -204,6 +234,10 @@ class FederatedConfig:
     checkpoint_every: int = 0
     checkpoint_dir: str = ""
     resume: bool = False
+    virtual_clients: bool = False
+    population: int = 0
+    reduce_backend: str = "flat"
+    tree_fanout: int = 2
 
     def __post_init__(self) -> None:
         if self.clients_per_round < 1:
@@ -286,6 +320,27 @@ class FederatedConfig:
             )
         if self.resume and not self.checkpoint_dir:
             raise ValueError("resume requires checkpoint_dir")
+        if self.population < 0:
+            raise ValueError(
+                "population must be non-negative (0 means the increment "
+                "schedule drives the population)"
+            )
+        if self.population > 0 and not self.virtual_clients:
+            raise ValueError(
+                "population > 0 requires virtual_clients=True: a fleet-scale "
+                "population only exists as lazy recipes, never as eager shards"
+            )
+        if self.reduce_backend not in ("flat", "tree"):
+            raise ValueError(
+                f"reduce_backend must be 'flat' or 'tree', got {self.reduce_backend!r}"
+            )
+        if self.reduce_backend == "tree" and self.transport != "loopback":
+            raise ValueError(
+                "reduce_backend='tree' requires transport='loopback' (edge "
+                "aggregators ship their partial reduces as wire frames)"
+            )
+        if self.tree_fanout < 2:
+            raise ValueError("tree_fanout must be at least 2")
         try:
             resolved = np.dtype(self.dtype)
         except TypeError as error:

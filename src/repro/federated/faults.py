@@ -161,6 +161,48 @@ class FaultInjector:
             return True
         return False
 
+    def edge_frame_lost(self, coordinate: Any, level: int, node: int, attempt: int) -> bool:
+        """Is this edge aggregator's partial-reduce frame lost on its hop up?
+
+        The tree reduce's intermediate hops fail at the same per-attempt
+        ``upload_loss_rate`` as client uploads — an edge→parent transfer is
+        an upload hop — but draw from their own ``(coordinate, level, node,
+        attempt)`` coordinates, so edge faults never perturb the client
+        upload trace.  ``coordinate`` is the server's round counter.
+        """
+        if self.spec.upload_loss_rate <= 0.0:
+            return False
+        if self._draw("edge-lose", coordinate, level, node, attempt) < self.spec.upload_loss_rate:
+            self._record(
+                "edge_frame_lost",
+                coordinate=coordinate,
+                level=level,
+                node=node,
+                attempt=attempt,
+            )
+            self.counters["frames_lost"] += 1
+            return True
+        return False
+
+    def edge_frame_corrupted(self, coordinate: Any, level: int, node: int, attempt: int) -> bool:
+        """Does this edge partial's frame arrive with flipped bytes?"""
+        if self.spec.upload_corruption_rate <= 0.0:
+            return False
+        if (
+            self._draw("edge-corrupt", coordinate, level, node, attempt)
+            < self.spec.upload_corruption_rate
+        ):
+            self._record(
+                "edge_frame_corrupt",
+                coordinate=coordinate,
+                level=level,
+                node=node,
+                attempt=attempt,
+            )
+            self.counters["frames_corrupted"] += 1
+            return True
+        return False
+
     def corrupt_frame(
         self, frame: WireFrame, task_id: int, round_index: Any, client_id: int, attempt: int
     ) -> WireFrame:

@@ -7,7 +7,7 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
-from repro.federated.aggregation import blend_states, fedavg
+from repro.federated.aggregation import FlatReduceBackend, ReduceBackend, blend_states
 from repro.federated.communication import ClientUpdate, CommunicationLedger
 from repro.nn.module import Module
 from repro.nn.serialization import (
@@ -53,11 +53,18 @@ class FederatedServer:
     volume.
     """
 
-    def __init__(self, model: Module) -> None:
+    def __init__(self, model: Module, reduce_backend: Optional[ReduceBackend] = None) -> None:
         self.model = model
         self.global_state: Dict[str, np.ndarray] = model.state_dict()
         self.broadcast_payload: Dict[str, Any] = {}
         self.ledger = CommunicationLedger()
+        #: Aggregation topology (:mod:`repro.federated.aggregation`): the
+        #: default flat backend is one server-side FedAvg, bit-for-bit the
+        #: historical path; a tree backend reduces through edge aggregators
+        #: whose partials ride measured wire frames.
+        self.reduce_backend: ReduceBackend = (
+            reduce_backend if reduce_backend is not None else FlatReduceBackend()
+        )
         #: When True (standalone server use), :meth:`aggregate` records an
         #: estimate-based ledger round itself.  A transport
         #: (:mod:`repro.federated.transport`) owns the ledger instead — it
@@ -113,10 +120,11 @@ class FederatedServer:
                 "updates arrived; the scope must cover exactly the updates it "
                 "was declared for"
             )
-        new_state = fedavg(
+        new_state = self.reduce_backend.reduce(
             [update.state_dict for update in updates],
             [update.num_samples for update in updates],
             scale=scale,
+            coordinate=self.round_counter,
         )
         self._aggregation_scale = None  # a scope covers exactly one aggregation
         self.global_state = new_state

@@ -43,22 +43,28 @@ from repro.federated.checkpoint import (
     load_checkpoint,
     save_checkpoint,
 )
+from repro.federated.aggregation import build_reduce_backend
 from repro.federated.client import ClientHandle
 from repro.federated.clock import (
     CostModel,
     DeviceProfile,
     EventScheduler,
     PROFILE_TIERS,
-    build_profile,
+    ProfileCache,
 )
-from repro.federated.communication import ClientUpdate, CommunicationLedger
+from repro.federated.communication import ClientUpdate, CommunicationLedger, build_codec
 from repro.federated.config import FederatedConfig
 from repro.federated.execution import ParallelEvalBackend, ParallelExecutor, build_executor
 from repro.federated.faults import FaultInjector
-from repro.federated.increment import ClientGroup, ClientIncrementSchedule
+from repro.federated.increment import ClientGroup, ClientIncrementSchedule, TaskAssignment
 from repro.federated.method import FederatedMethod
-from repro.federated.sampling import NoAvailableClientsError, sample_clients
+from repro.federated.sampling import (
+    NoAvailableClientsError,
+    sample_clients,
+    sample_clients_lazy,
+)
 from repro.federated.server import FederatedServer
+from repro.federated.virtual import VirtualClientPlane
 from repro.federated.transport import _flatten_message, _split_message, build_transport
 from repro.utils.logging_utils import get_logger
 from repro.utils.rng import spawn_rng
@@ -167,6 +173,26 @@ class FederatedDomainIncrementalSimulation:
             faults=self.fault_injector,
         )
         self.server.ledger_autorecord = False
+        # The aggregation topology: the default flat star is the historical
+        # bit-for-bit path; the tree backend reduces through edge aggregators
+        # whose partials ride the same codec'd wire frames as uploads (edge
+        # bytes measured in the ledger, CRC + retries under the fault plane).
+        if config.reduce_backend != "flat":
+            self.server.reduce_backend = build_reduce_backend(
+                config.reduce_backend,
+                fanout=config.tree_fanout,
+                codec=build_codec(config.codec),
+                ledger=self.server.ledger,
+                faults=self.fault_injector,
+                retries=config.retries,
+                retry_backoff=config.retry_backoff,
+            )
+        # The virtual-client plane: clients as lazy (seed, partition-spec)
+        # recipes, shards materialized per selected cohort only.  None keeps
+        # the eager dicts below as the data plane (the historical path).
+        self.virtual: Optional[VirtualClientPlane] = (
+            VirtualClientPlane(config) if config.virtual_clients else None
+        )
         # Worker deaths are replayed, not fatal, when the fault plane kills
         # workers on purpose; the respawn budget is generous (every round
         # could kill one worker, twice over) but finite, so a genuinely
@@ -222,7 +248,10 @@ class FederatedDomainIncrementalSimulation:
         self.clock = EventScheduler()
         self.cost_model = CostModel()
         self.event_log: List[Dict[str, object]] = []
-        self._profiles: Dict[int, DeviceProfile] = {}
+        # Bounded LRU: profiles are pure functions of (tier, seed, client),
+        # so eviction just redraws — what keeps a 100k-virtual-client run's
+        # temporal bookkeeping O(recent cohort) instead of O(population).
+        self._profiles = ProfileCache(config.device_profile, config.seed)
         self._temporal_runner = TemporalPlaneRunner(self)
         #: Checkpoint bookkeeping: how many snapshots this process wrote and
         #: which checkpoint file (if any) this run resumed from.
@@ -233,6 +262,17 @@ class FederatedDomainIncrementalSimulation:
     # Data assignment per task
     # ------------------------------------------------------------------ #
     def _assign_task_data(self, task: Task) -> None:
+        if self.virtual is not None:
+            # Lazy plane: record the task's partition *indices* (schedule
+            # mode) or nothing at all (fleet mode) — shards materialize at
+            # selection time.  Replayed deterministically on resume, so
+            # checkpoints carry specs, never shards.
+            assignment = (
+                None if self.virtual.fleet
+                else self.schedule.assignment_for_task(task.task_id)
+            )
+            self.virtual.begin_task(task, assignment)
+            return
         assignment = self.schedule.assignment_for_task(task.task_id)
         takers = assignment.clients_taking_new_domain
         rng = spawn_rng(self.config.seed, "partition", task.task_id)
@@ -281,12 +321,8 @@ class FederatedDomainIncrementalSimulation:
     # Temporal plane
     # ------------------------------------------------------------------ #
     def profile_for(self, client_id: int) -> DeviceProfile:
-        """The client's device profile, drawn once from the configured tier."""
-        profile = self._profiles.get(client_id)
-        if profile is None:
-            profile = build_profile(self.config.device_profile, self.config.seed, client_id)
-            self._profiles[client_id] = profile
-        return profile
+        """The client's device profile, drawn from the configured tier (LRU-cached)."""
+        return self._profiles.get(client_id)
 
     def availability_predicate(self, task_id: int, slot: int):
         """The selection-time availability hook, or ``None`` for always-online tiers.
@@ -302,6 +338,22 @@ class FederatedDomainIncrementalSimulation:
             self.config.seed, task_id, slot
         )
 
+    def _client_dataset(self, client_id: int) -> ArrayDataset:
+        """The client's current training data — eager dict or lazy materialization."""
+        if self.virtual is not None:
+            return self.virtual.materialize(client_id)
+        return self._training_data[client_id]
+
+    def _client_group(self, assignment: TaskAssignment, client_id: int) -> ClientGroup:
+        if self.virtual is not None and self.virtual.fleet:
+            return self.virtual.group_for(client_id)
+        return assignment.group_of(client_id)
+
+    def _client_domains(self, client_id: int) -> Tuple[int, ...]:
+        if self.virtual is not None:
+            return self.virtual.domains_for(client_id)
+        return tuple(self._domains_held.get(client_id, []))
+
     def client_seconds(self, client_id: int) -> float:
         """Simulated cost of the client's most recent dispatch cycle.
 
@@ -311,7 +363,7 @@ class FederatedDomainIncrementalSimulation:
         ``broadcast_round``/``collect_updates`` cycle for this client.
         """
         profile = self.profile_for(client_id)
-        dataset = self._training_data[client_id]
+        dataset = self._client_dataset(client_id)
         return (
             self.cost_model.transfer_seconds(
                 profile, self.transport.last_broadcast_bytes.get(client_id, 0)
@@ -338,7 +390,7 @@ class FederatedDomainIncrementalSimulation:
         uploaded.
         """
         profile = self.profile_for(client_id)
-        dataset = self._training_data[client_id]
+        dataset = self._client_dataset(client_id)
         return self.cost_model.transfer_seconds(
             profile, self.transport.last_broadcast_bytes.get(client_id, 0)
         ) + self.config.faults.crash_fraction * self.cost_model.training_seconds(
@@ -386,23 +438,41 @@ class FederatedDomainIncrementalSimulation:
         # (left by the previous round's eval snapshot) must not survive it.
         self.server.invalidate_broadcast()
         rng = spawn_rng(self.config.seed, "selection", task.task_id, round_index)
-        eligible = [
-            client_id
-            for client_id in assignment.active_clients
-            if client_id in self._training_data and len(self._training_data[client_id]) > 0
-        ]
-        if not eligible:
-            raise RuntimeError(
-                f"no client has training data for task {task.task_id}; "
-                "check the increment schedule and partitioning configuration"
-            )
+        fleet = self.virtual is not None and self.virtual.fleet
+        if not fleet:
+            if self.virtual is not None:
+                # Schedule-mode virtual: the plane's take records coincide
+                # with "has a non-empty shard", so this is the eager eligible
+                # list — same clients, same order, same rng draws below.
+                eligible = self.virtual.eligible(assignment)
+            else:
+                eligible = [
+                    client_id
+                    for client_id in assignment.active_clients
+                    if client_id in self._training_data and len(self._training_data[client_id]) > 0
+                ]
+            if not eligible:
+                raise RuntimeError(
+                    f"no client has training data for task {task.task_id}; "
+                    "check the increment schedule and partitioning configuration"
+                )
         try:
-            selected = sample_clients(
-                eligible,
-                self.config.clients_per_round,
-                rng,
-                available=self.availability_predicate(task.task_id, round_index),
-            )
+            if fleet:
+                # Fleet mode: an O(cohort) draw from range(population) — the
+                # population is never instantiated as a list.
+                selected = sample_clients_lazy(
+                    self.config.population,
+                    self.config.clients_per_round,
+                    rng,
+                    available=self.availability_predicate(task.task_id, round_index),
+                )
+            else:
+                selected = sample_clients(
+                    eligible,
+                    self.config.clients_per_round,
+                    rng,
+                    available=self.availability_predicate(task.task_id, round_index),
+                )
         except NoAvailableClientsError:
             # Every eligible device is offline this round: the server waits
             # out an idle tick instead of training — nothing aggregates, no
@@ -442,11 +512,11 @@ class FederatedDomainIncrementalSimulation:
             ClientHandle(
                 client_id=client_id,
                 task_id=task.task_id,
-                group=assignment.group_of(client_id),
-                dataset=self._training_data[client_id],
+                group=self._client_group(assignment, client_id),
+                dataset=self._client_dataset(client_id),
                 rng=spawn_rng(self.config.seed, "client", client_id, task.task_id, round_index),
                 training=self.config.local,
-                domains_held=tuple(self._domains_held.get(client_id, [])),
+                domains_held=self._client_domains(client_id),
                 metadata={
                     "round_index": float(round_index),
                     "rounds_per_task": float(self.config.rounds_per_task),
@@ -497,6 +567,10 @@ class FederatedDomainIncrementalSimulation:
             return
         with self.timer.measure("aggregate"):
             self.method.aggregate(self.server, updates)
+        # Retry backoff the fault plane imposed on a tree reduce's edge hops
+        # joins the round's barrier (zero for the flat star — collect_penalty
+        # is a no-op returning 0.0 there).
+        barrier += self.server.reduce_backend.collect_penalty()
         # server.aggregate() invalidates the cached broadcast itself, but a
         # method's aggregate override may mutate server state directly; the
         # mid-task eval below must never score a stale pre-round broadcast.
@@ -556,7 +630,9 @@ class FederatedDomainIncrementalSimulation:
         format uses); the method object itself is pickled whole (it is
         required to be picklable for the parallel executor anyway).  Nothing
         rebuilt deterministically from the config is stored: datasets, client
-        schedules, device profiles, and every RNG — ``spawn_rng`` streams are
+        schedules, device profiles, virtual-client recipes (the resume path
+        replays task assignment, which rebuilds the plane's specs — shards
+        are never serialized), and every RNG — ``spawn_rng`` streams are
         pure functions of ``(seed, labels)``, so there is no generator state.
         """
         arrays, skeleton = _flatten_message(
@@ -620,6 +696,9 @@ class FederatedDomainIncrementalSimulation:
             ledger = pickle.loads(payload["ledger_blob"])
             self.server.ledger = ledger
             self.transport.ledger = ledger
+            if getattr(self.server.reduce_backend, "ledger", None) is not None:
+                # A tree backend keeps accounting into the restored ledger.
+                self.server.reduce_backend.ledger = ledger
             self.transport.load_state_dict(payload["transport"])
             self.round_losses[:] = payload["round_losses"]
             self.round_loss_components[:] = payload["round_loss_components"]

@@ -1,0 +1,596 @@
+"""Hierarchy plane: virtual client population + tree aggregation.
+
+Covers the two halves of the plane and their cross-layer contracts:
+
+* the lazy sampler (draw-for-draw reference, O(count) semantics),
+* the virtual-client plane (bit-for-bit shard parity with the eager data
+  plane, LRU determinism, fleet recipes),
+* the tree reduce backend (float-tolerance agreement with flat FedAvg for
+  any fan-out and cohort, edge-frame ledger accounting, edge faults),
+* the configuration surface (validation, checkpoint fingerprints, run-cache
+  folding), and
+* full-simulation parity: a schedule-mode virtual run reproduces the eager
+  run hash-for-hash across sync/async/buffered modes, while fleet mode
+  trains a 100k-scale population in O(cohort) state.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.autograd.tensor import get_default_dtype
+from repro.baselines import build_method
+from repro.continual import DomainIncrementalScenario
+from repro.datasets import SyntheticDomainDataset
+from repro.datasets.partition import (
+    partition_domain_across_clients,
+    partition_indices_for_clients,
+)
+from repro.federated import (
+    CheckpointMismatchError,
+    FaultInjector,
+    FaultSpec,
+    FederatedDomainIncrementalSimulation,
+    FlatReduceBackend,
+    NoAvailableClientsError,
+    ProfileCache,
+    TreeReduceBackend,
+    VirtualClientPlane,
+    VirtualClientSpec,
+    build_profile,
+    build_reduce_backend,
+    config_fingerprint,
+    fedavg,
+    sample_clients_lazy,
+    simulation_state_hash,
+)
+from repro.federated.communication import CommunicationLedger, build_codec
+from repro.federated.config import FederatedConfig
+from repro.federated.increment import ClientGroup
+from repro.utils.rng import spawn_rng
+
+
+def _build(tiny_spec, tiny_backbone_config, config, num_tasks=2):
+    scenario = DomainIncrementalScenario(SyntheticDomainDataset(tiny_spec), num_tasks=num_tasks)
+    method = build_method("finetune", tiny_backbone_config, num_tasks=scenario.num_tasks)
+    return FederatedDomainIncrementalSimulation(scenario, method, config)
+
+
+def _run(tiny_spec, tiny_backbone_config, config, num_tasks=2):
+    simulation = _build(tiny_spec, tiny_backbone_config, config, num_tasks=num_tasks)
+    return simulation, simulation.run()
+
+
+# --------------------------------------------------------------------------- #
+# Lazy sampling
+# --------------------------------------------------------------------------- #
+def _reference_lazy_sample(population, count, rng, eligible=None):
+    """The documented probe program of ``sample_clients_lazy``, re-derived."""
+    selected = set()
+    while len(selected) < count:
+        candidate = int(rng.integers(population))
+        if candidate in selected:
+            continue
+        if eligible is not None and not eligible(candidate):
+            continue
+        selected.add(candidate)
+    return sorted(selected)
+
+
+class TestSampleClientsLazy:
+    @pytest.mark.parametrize("population,count", [(5, 2), (10, 3), (37, 5), (100, 1)])
+    def test_matches_reference_draw_for_draw(self, population, count):
+        # Identical generator state in, identical probe sequence out: the
+        # sampler is a pure function of the rng — the regression contract the
+        # fleet selection trace depends on.
+        chosen = sample_clients_lazy(population, count, np.random.default_rng(42))
+        expected = _reference_lazy_sample(population, count, np.random.default_rng(42))
+        assert chosen == expected
+
+    def test_small_population_golden_draws(self):
+        # A pinned golden draw: numpy generator semantics changing under us
+        # (or a sampler rewrite changing the probe program) must fail loudly,
+        # because every recorded fleet run's cohorts depend on this sequence.
+        assert sample_clients_lazy(10, 3, np.random.default_rng(0)) == [5, 6, 8]
+        assert sample_clients_lazy(1000, 4, np.random.default_rng(7)) == [625, 684, 897, 944]
+
+    def test_count_reaching_population_returns_filtered_range(self):
+        rng = np.random.default_rng(0)
+        assert sample_clients_lazy(4, 4, rng) == [0, 1, 2, 3]
+        assert sample_clients_lazy(4, 9, rng, exclude={2}) == [0, 1, 3]
+
+    def test_exclude_and_availability_are_honoured(self):
+        chosen = sample_clients_lazy(
+            50, 5, np.random.default_rng(3), available=lambda cid: cid % 2 == 0, exclude={0, 2}
+        )
+        assert len(chosen) == 5 and len(set(chosen)) == 5
+        assert all(cid % 2 == 0 and cid not in {0, 2} for cid in chosen)
+
+    def test_exhaustion_raises(self):
+        with pytest.raises(NoAvailableClientsError):
+            sample_clients_lazy(
+                100, 3, np.random.default_rng(0), available=lambda cid: False, max_probes=64
+            )
+        with pytest.raises(NoAvailableClientsError):
+            sample_clients_lazy(3, 3, np.random.default_rng(0), exclude={0, 1, 2})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sample_clients_lazy(10, 0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            sample_clients_lazy(0, 1, np.random.default_rng(0))
+
+    @given(population=st.integers(2, 200), count=st.integers(1, 8), seed=st.integers(0, 999))
+    @settings(max_examples=40, deadline=None)
+    def test_property_distinct_sorted_in_range(self, population, count, seed):
+        chosen = sample_clients_lazy(population, count, np.random.default_rng(seed))
+        assert chosen == sorted(set(chosen))
+        assert len(chosen) == min(count, population)
+        assert all(0 <= cid < population for cid in chosen)
+
+
+# --------------------------------------------------------------------------- #
+# Virtual shards: bit-for-bit with the eager partition
+# --------------------------------------------------------------------------- #
+class TestVirtualShards:
+    @given(seed=st.integers(0, 2**16), concentration=st.sampled_from([0.3, 1.0, 5.0]))
+    @settings(
+        max_examples=10,
+        deadline=None,
+        # The spec fixture is a frozen value object; sharing it across
+        # generated examples is safe.
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_index_partition_matches_eager_shards(self, tiny_spec, seed, concentration):
+        # The index-level half performs the same draws as the eager shard
+        # partition, so subset-by-indices reproduces every shard exactly.
+        dataset = SyntheticDomainDataset(tiny_spec).train(0)
+        clients = [3, 1, 7, 4]
+        eager = partition_domain_across_clients(
+            dataset, clients, spawn_rng(seed, "partition", 0), concentration
+        )
+        index_map = partition_indices_for_clients(
+            dataset.labels, clients, spawn_rng(seed, "partition", 0), concentration
+        )
+        assert set(eager) == set(index_map)
+        for client_id, indices in index_map.items():
+            lazy = dataset.subset(indices)
+            np.testing.assert_array_equal(lazy.images, eager[client_id].images)
+            np.testing.assert_array_equal(lazy.labels, eager[client_id].labels)
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(
+        max_examples=5,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_plane_materializes_eager_bits_every_client_every_task(
+        self, tiny_spec, tiny_backbone_config, tiny_federated_config, seed
+    ):
+        # Drive the eager and the virtual data plane over the same three-task
+        # schedule and compare every eligible client's training shard per
+        # task — the core "lazy recipe == eager shard" contract.
+        config = replace(tiny_federated_config, seed=seed, rounds_per_task=1)
+        eager_sim = _build(tiny_spec, tiny_backbone_config, config, num_tasks=3)
+        virtual_sim = _build(
+            tiny_spec, tiny_backbone_config, replace(config, virtual_clients=True), num_tasks=3
+        )
+        assert isinstance(virtual_sim.virtual, VirtualClientPlane)
+        for task in eager_sim.scenario.tasks():
+            eager_sim._assign_task_data(task)
+            virtual_sim._assign_task_data(task)
+            assignment = eager_sim.schedule.assignment_for_task(task.task_id)
+            eager_eligible = [
+                cid
+                for cid in assignment.active_clients
+                if cid in eager_sim._training_data and len(eager_sim._training_data[cid]) > 0
+            ]
+            assert virtual_sim.virtual.eligible(assignment) == eager_eligible
+            for client_id in eager_eligible:
+                eager_shard = eager_sim._training_data[client_id]
+                lazy_shard = virtual_sim.virtual.materialize(client_id)
+                np.testing.assert_array_equal(lazy_shard.images, eager_shard.images)
+                np.testing.assert_array_equal(lazy_shard.labels, eager_shard.labels)
+                assert virtual_sim._client_domains(client_id) == tuple(
+                    eager_sim._domains_held[client_id]
+                )
+
+    def test_materialization_is_deterministic_across_eviction(self, tiny_spec):
+        config = FederatedConfig(virtual_clients=True, population=64, clients_per_round=2)
+        plane = VirtualClientPlane(config)
+        plane._cache_size = 1  # force eviction between the two materializations
+        task_train = SyntheticDomainDataset(tiny_spec).train(0)
+
+        class _Task:
+            task_id = 0
+            train = task_train
+
+        plane.begin_task(_Task(), None)
+        first = plane.materialize(5)
+        plane.materialize(9)  # evicts client 5
+        again = plane.materialize(5)
+        np.testing.assert_array_equal(first.images, again.images)
+        np.testing.assert_array_equal(first.labels, again.labels)
+        assert first.images.dtype == get_default_dtype()
+
+    def test_fleet_spec_and_groups(self, tiny_spec):
+        config = FederatedConfig(virtual_clients=True, population=1000)
+        plane = VirtualClientPlane(config)
+        dataset = SyntheticDomainDataset(tiny_spec)
+
+        class _Task:
+            def __init__(self, task_id, train):
+                self.task_id = task_id
+                self.train = train
+
+        plane.begin_task(_Task(0, dataset.train(0)), None)
+        spec = plane.spec_for(123)
+        assert isinstance(spec, VirtualClientSpec)
+        assert spec.group is ClientGroup.NEW and spec.components == (0,)
+        assert plane.group_for(123) is ClientGroup.NEW
+
+        plane.begin_task(_Task(1, dataset.train(1)), None)
+        spec = plane.spec_for(123)
+        assert spec.group is ClientGroup.IN_BETWEEN and spec.components == (0, 1)
+        assert plane.domains_for(123) == (0, 1)
+        # The fleet shard is a pure function of (seed, task, client): two
+        # builds agree bit-for-bit, different clients genuinely differ.
+        a = plane.materialize(123)
+        plane._cache.clear()
+        b = plane.materialize(123)
+        np.testing.assert_array_equal(a.images, b.images)
+        other = plane.materialize(124)
+        assert len(other) >= 2
+        assert a.images.shape != other.images.shape or not np.array_equal(a.images, other.images)
+
+    def test_schedule_mode_unknown_client_raises(self, tiny_spec):
+        plane = VirtualClientPlane(FederatedConfig(virtual_clients=True))
+        with pytest.raises(KeyError):
+            plane.spec_for(99)
+
+
+# --------------------------------------------------------------------------- #
+# Tree reduce == flat FedAvg (to accumulation-dtype tolerance)
+# --------------------------------------------------------------------------- #
+def _random_states(rng, cohort, keys=("w", "b"), dtype=np.float64):
+    states = []
+    for _ in range(cohort):
+        states.append(
+            {key: rng.normal(size=(3, 2)).astype(dtype) for key in keys}
+        )
+    return states
+
+
+class TestTreeReduce:
+    @given(
+        cohort=st.integers(1, 12),
+        fanout=st.integers(2, 6),
+        seed=st.integers(0, 999),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_tree_equals_flat_any_fanout_and_cohort(self, cohort, fanout, seed):
+        rng = np.random.default_rng(seed)
+        states = _random_states(rng, cohort)
+        num_samples = [int(n) for n in rng.integers(1, 50, size=cohort)]
+        flat = fedavg(states, num_samples)
+        tree = TreeReduceBackend(fanout=fanout).reduce(states, num_samples)
+        for key in flat:
+            # Flat normalizes weights before accumulating; the tree sums
+            # w_i * x_i partials and divides once at the root.  Algebraically
+            # identical, equal to accumulation-dtype round-off only.
+            np.testing.assert_allclose(tree[key], flat[key], rtol=1e-12, atol=1e-12)
+
+    def test_float32_tolerance(self):
+        rng = np.random.default_rng(0)
+        states = _random_states(rng, 7, dtype=np.float32)
+        num_samples = [5, 1, 9, 3, 2, 8, 4]
+        flat = fedavg(states, num_samples)
+        tree = TreeReduceBackend(fanout=3).reduce(states, num_samples)
+        for key in flat:
+            assert tree[key].dtype == flat[key].dtype == np.float32
+            np.testing.assert_allclose(tree[key], flat[key], rtol=1e-6, atol=1e-6)
+
+    def test_scale_and_zero_weight_fallback(self):
+        rng = np.random.default_rng(1)
+        states = _random_states(rng, 4)
+        scale = [0.5, 1.0, 0.25, 0.75]
+        flat = fedavg(states, [3, 4, 5, 6], scale=scale)
+        tree = TreeReduceBackend(fanout=2).reduce(states, [3, 4, 5, 6], scale=scale)
+        for key in flat:
+            np.testing.assert_allclose(tree[key], flat[key], rtol=1e-12, atol=1e-12)
+        # All-zero sample counts fall back to uniform weights, like fedavg.
+        flat0 = fedavg(states, [0, 0, 0, 0])
+        tree0 = TreeReduceBackend(fanout=2).reduce(states, [0, 0, 0, 0])
+        for key in flat0:
+            np.testing.assert_allclose(tree0[key], flat0[key], rtol=1e-12, atol=1e-12)
+
+    def test_flat_backend_is_fedavg_bit_for_bit(self):
+        rng = np.random.default_rng(2)
+        states = _random_states(rng, 3)
+        result = FlatReduceBackend().reduce(states, [1, 2, 3])
+        expected = fedavg(states, [1, 2, 3])
+        for key in expected:
+            np.testing.assert_array_equal(result[key], expected[key])
+
+    def test_build_reduce_backend(self):
+        assert isinstance(build_reduce_backend("flat"), FlatReduceBackend)
+        tree = build_reduce_backend("tree", fanout=4)
+        assert isinstance(tree, TreeReduceBackend) and tree.fanout == 4
+        with pytest.raises(ValueError):
+            build_reduce_backend("ring")
+        with pytest.raises(ValueError):
+            TreeReduceBackend(fanout=1)
+
+    def test_edge_frame_accounting(self):
+        rng = np.random.default_rng(3)
+        ledger = CommunicationLedger()
+        tree = TreeReduceBackend(fanout=2, codec=build_codec("identity"), ledger=ledger)
+        states = _random_states(rng, 5)
+        tree.reduce(states, [1, 2, 3, 4, 5])
+        # 5 leaves, fanout 2: level 1 ships ceil(5/2)=3 partials, level 2
+        # ships 2, level 3 is the single root group (combined in-process,
+        # no frame above the root).
+        assert ledger.edge_frames == 5
+        assert tree.last_edge_frames == 5
+        assert ledger.edge_bytes > 0
+        assert ledger.total_bytes == ledger.edge_bytes  # nothing else recorded
+
+    def test_cohort_within_fanout_ships_zero_frames(self):
+        rng = np.random.default_rng(4)
+        ledger = CommunicationLedger()
+        tree = TreeReduceBackend(fanout=4, codec=build_codec("identity"), ledger=ledger)
+        states = _random_states(rng, 3)
+        result = tree.reduce(states, [1, 2, 3])
+        assert ledger.edge_frames == 0 and ledger.edge_bytes == 0
+        expected = fedavg(states, [1, 2, 3])
+        for key in expected:
+            np.testing.assert_allclose(result[key], expected[key], rtol=1e-12, atol=1e-12)
+
+    def test_edge_faults_retry_and_stay_exact(self):
+        rng = np.random.default_rng(5)
+        ledger = CommunicationLedger()
+        injector = FaultInjector(seed=0, spec=FaultSpec(upload_loss_rate=0.6))
+        tree = TreeReduceBackend(
+            fanout=2,
+            codec=build_codec("identity"),
+            ledger=ledger,
+            faults=injector,
+            retries=2,
+            retry_backoff=0.5,
+        )
+        states = _random_states(rng, 6)
+        num_samples = [1, 2, 3, 4, 5, 6]
+        result = tree.reduce(states, num_samples, coordinate=0)
+        # Lost edge frames are retried (and, when exhausted, delivered over
+        # the reliable control channel), so aggregation stays exact even at a
+        # 60% per-attempt loss rate.
+        expected = fedavg(states, num_samples)
+        for key in expected:
+            np.testing.assert_allclose(result[key], expected[key], rtol=1e-12, atol=1e-12)
+        assert ledger.edge_lost_frames > 0
+        assert injector.counters["frames_lost"] == ledger.edge_lost_frames
+        penalty = tree.collect_penalty()
+        assert penalty > 0.0
+        assert tree.collect_penalty() == 0.0  # collect resets
+
+    def test_edge_fault_draws_are_deterministic(self):
+        spec = FaultSpec(upload_loss_rate=0.5, upload_corruption_rate=0.5)
+        a = FaultInjector(seed=9, spec=spec)
+        b = FaultInjector(seed=9, spec=spec)
+        for coordinate in range(4):
+            for level in (1, 2):
+                for node in range(3):
+                    assert a.edge_frame_lost(coordinate, level, node, 1) == b.edge_frame_lost(
+                        coordinate, level, node, 1
+                    )
+                    assert a.edge_frame_corrupted(
+                        coordinate, level, node, 1
+                    ) == b.edge_frame_corrupted(coordinate, level, node, 1)
+
+
+# --------------------------------------------------------------------------- #
+# Profile cache
+# --------------------------------------------------------------------------- #
+class TestProfileCache:
+    def test_matches_build_profile_and_bounds_memory(self):
+        cache = ProfileCache("moderate", seed=3, maxsize=8)
+        for client_id in range(32):
+            assert cache.get(client_id) == build_profile("moderate", 3, client_id)
+        assert len(cache) <= 8
+        # Re-fetch after eviction: identical bits (pure function of the seed).
+        assert cache.get(0) == build_profile("moderate", 3, 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProfileCache("instant", seed=0, maxsize=0)
+
+
+# --------------------------------------------------------------------------- #
+# Configuration surface
+# --------------------------------------------------------------------------- #
+class TestHierarchyConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FederatedConfig(population=-1)
+        with pytest.raises(ValueError):
+            FederatedConfig(population=10)  # needs virtual_clients
+        with pytest.raises(ValueError):
+            FederatedConfig(reduce_backend="ring")
+        with pytest.raises(ValueError):
+            FederatedConfig(reduce_backend="tree", transport="direct")
+        with pytest.raises(ValueError):
+            FederatedConfig(tree_fanout=1)
+        # The valid combinations construct fine.
+        FederatedConfig(virtual_clients=True, population=100_000)
+        FederatedConfig(reduce_backend="tree", tree_fanout=8)
+
+    def test_fingerprint_covers_hierarchy_knobs(self):
+        base = FederatedConfig()
+        assert config_fingerprint(base) != config_fingerprint(replace(base, virtual_clients=True))
+        assert config_fingerprint(base) != config_fingerprint(replace(base, tree_fanout=3))
+        assert config_fingerprint(base) != config_fingerprint(
+            replace(base, reduce_backend="tree")
+        )
+        assert config_fingerprint(base) != config_fingerprint(
+            replace(base, virtual_clients=True, population=10)
+        )
+
+    def test_run_cache_folds_inert_hierarchy_knobs(self):
+        from repro.experiments.runner import _normalize_execution_knobs
+
+        base = FederatedConfig()
+        # virtual_clients without a population is bit-for-bit the eager run.
+        assert _normalize_execution_knobs(replace(base, virtual_clients=True)) == (
+            _normalize_execution_knobs(base)
+        )
+        # The fanout is never consulted under a flat reduce.
+        assert _normalize_execution_knobs(replace(base, tree_fanout=5)) == (
+            _normalize_execution_knobs(base)
+        )
+        # The tree backend changes the numbers (float tolerance) and stays.
+        assert _normalize_execution_knobs(replace(base, reduce_backend="tree")) != (
+            _normalize_execution_knobs(base)
+        )
+        # A fleet population changes the cohorts outright and stays.
+        assert _normalize_execution_knobs(
+            replace(base, virtual_clients=True, population=100)
+        ) != _normalize_execution_knobs(replace(base, virtual_clients=True))
+        # Under a tree reduce the fanout changes the frame topology and stays.
+        assert _normalize_execution_knobs(
+            replace(base, reduce_backend="tree", tree_fanout=5)
+        ) != _normalize_execution_knobs(replace(base, reduce_backend="tree"))
+
+
+# --------------------------------------------------------------------------- #
+# Full-simulation parity and fleet runs
+# --------------------------------------------------------------------------- #
+class TestSimulationParity:
+    @pytest.mark.parametrize("mode", ["sync", "async", "buffered"])
+    def test_virtual_run_reproduces_eager_run(
+        self, tiny_spec, tiny_backbone_config, tiny_federated_config, mode
+    ):
+        config = replace(tiny_federated_config, mode=mode, rounds_per_task=2)
+        eager_sim, eager = _run(tiny_spec, tiny_backbone_config, config)
+        virtual_sim, virtual = _run(
+            tiny_spec, tiny_backbone_config, replace(config, virtual_clients=True)
+        )
+        assert simulation_state_hash(virtual_sim) == simulation_state_hash(eager_sim)
+        np.testing.assert_array_equal(
+            virtual_sim.evaluator.accuracy_matrix._matrix,
+            eager_sim.evaluator.accuracy_matrix._matrix,
+        )
+        assert virtual.round_losses == eager.round_losses
+        assert virtual.event_log == eager.event_log
+
+    def test_tree_run_matches_flat_within_tolerance(
+        self, tiny_spec, tiny_backbone_config, tiny_federated_config
+    ):
+        # A cohort of 3 with fanout 2 genuinely ships edge frames (a cohort
+        # within the fanout degenerates to an in-process root reduce).
+        config = replace(tiny_federated_config, clients_per_round=3, rounds_per_task=2)
+        _, flat = _run(tiny_spec, tiny_backbone_config, config)
+        tree_sim, tree = _run(
+            tiny_spec, tiny_backbone_config, replace(config, reduce_backend="tree", tree_fanout=2)
+        )
+        np.testing.assert_allclose(
+            np.asarray(tree.metrics.matrix),
+            np.asarray(flat.metrics.matrix),
+            rtol=1e-6,
+            atol=1e-6,
+        )
+        assert tree.communication.edge_frames > 0
+        assert tree.communication.edge_bytes > 0
+        assert isinstance(tree_sim.server.reduce_backend, TreeReduceBackend)
+
+    def test_fleet_population_trains(self, tiny_spec, tiny_backbone_config, tiny_federated_config):
+        config = replace(
+            tiny_federated_config,
+            virtual_clients=True,
+            population=5000,
+            rounds_per_task=2,
+            reduce_backend="tree",
+            tree_fanout=2,
+        )
+        sim, result = _run(tiny_spec, tiny_backbone_config, config)
+        matrix = np.asarray(result.metrics.matrix)
+        assert np.isfinite(matrix[np.tril_indices_from(matrix)]).all()
+        # O(cohort) state: nothing population-sized was ever materialized.
+        assert len(sim.virtual._cache) <= sim.virtual._cache_size
+        assert not sim._training_data
+        # Selected ids actually span the population, not a small prefix.
+        dispatched = {
+            client_id
+            for entry in result.event_log
+            for client_id in entry.get("clients", ())
+        }
+        assert max(dispatched) >= 1000
+
+    @pytest.mark.parametrize("mode", ["async", "buffered"])
+    def test_fleet_population_temporal_modes(
+        self, tiny_spec, tiny_backbone_config, tiny_federated_config, mode
+    ):
+        config = replace(
+            tiny_federated_config,
+            virtual_clients=True,
+            population=2000,
+            mode=mode,
+            device_profile="moderate",
+            rounds_per_task=2,
+        )
+        _, result = _run(tiny_spec, tiny_backbone_config, config)
+        matrix = np.asarray(result.metrics.matrix)
+        assert np.isfinite(matrix[np.tril_indices_from(matrix)]).all()
+
+
+class TestVirtualResume:
+    def test_resumed_virtual_run_matches_uninterrupted(
+        self, tiny_spec, tiny_backbone_config, tiny_federated_config, tmp_path
+    ):
+        import shutil
+
+        from repro.federated import parse_checkpoint_name
+
+        full_dir = tmp_path / "full"
+        config = replace(
+            tiny_federated_config,
+            virtual_clients=True,
+            population=500,
+            rounds_per_task=2,
+            checkpoint_every=1,
+            checkpoint_dir=str(full_dir),
+        )
+        full_sim, full = _run(tiny_spec, tiny_backbone_config, config)
+        names = sorted(os.listdir(full_dir), key=parse_checkpoint_name)
+        assert len(names) >= 2
+        resume_dir = tmp_path / "resume"
+        resume_dir.mkdir()
+        shutil.copy(full_dir / names[0], resume_dir / names[0])
+        resumed_cfg = replace(config, checkpoint_dir=str(resume_dir), resume=True)
+        resumed_sim, resumed = _run(tiny_spec, tiny_backbone_config, resumed_cfg)
+        assert simulation_state_hash(resumed_sim) == simulation_state_hash(full_sim)
+        assert resumed.event_log == full.event_log
+
+    def test_resume_refuses_mismatched_tree_fanout(
+        self, tiny_spec, tiny_backbone_config, tiny_federated_config, tmp_path
+    ):
+        directory = str(tmp_path / "ckpt")
+        config = replace(
+            tiny_federated_config,
+            virtual_clients=True,
+            population=500,
+            reduce_backend="tree",
+            tree_fanout=2,
+            checkpoint_every=1,
+            checkpoint_dir=directory,
+        )
+        _run(tiny_spec, tiny_backbone_config, config)
+        mismatched = replace(config, tree_fanout=3, resume=True)
+        simulation = _build(tiny_spec, tiny_backbone_config, mismatched)
+        with pytest.raises(CheckpointMismatchError):
+            simulation.run()
