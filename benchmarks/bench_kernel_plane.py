@@ -1,0 +1,177 @@
+"""Local-training throughput across the three kernels — the kernel-plane bench.
+
+The kernel plane executes the same client SGD step three ways:
+
+* ``eager``   — closure-based autograd, one python op dispatch per tensor op;
+* ``tape``    — each client's first step is traced into a compiled
+  :class:`~repro.autograd.tape.Plan` and verified bit-for-bit against eager,
+  then every later step is a plan replay (no graph construction);
+* ``batched`` — the lockstep engine stacks a whole cohort of same-shaped
+  clients along a leading axis and replays ONE vectorized plan step for all
+  of them at once.
+
+This bench trains an identical K-client cohort under each kernel and records
+client-steps/second into the append-only ``kernel_plane`` section of
+``BENCH_round.json``.
+
+Asserted invariants: tape is bit-identical to eager (states and losses),
+batched matches eager to float-accumulation tolerance with every client
+actually taking the lockstep path, the batched kernel clears at least a 2x
+steps/sec multiple over eager, and ``Tensor.backward`` frees the autograd
+graph (the live-tensor count drops once gradients are in).
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+
+import numpy as np
+
+from conftest import run_once  # noqa: F401  (bench suite convention)
+from repro.autograd.tape import kernel_mode
+from repro.autograd.tensor import Tensor
+from repro.baselines.registry import build_method
+from repro.datasets.base import ArrayDataset
+from repro.federated.client import ClientHandle, LocalTrainingConfig
+from repro.federated.execution import build_executor
+from repro.federated.increment import ClientGroup
+from repro.federated.server import FederatedServer
+from repro.models.backbone import BackboneConfig
+
+K = 16  # cohort size (equal shard sizes, so one lockstep group forms)
+SAMPLES_PER_CLIENT = 64
+BATCH_SIZE = 4  # small batches: dispatch overhead dominates eager, which is
+ROUNDS = 2      # exactly the regime lockstep batching exists for
+LOCAL_EPOCHS = 1
+STEPS_PER_CLIENT = LOCAL_EPOCHS * (SAMPLES_PER_CLIENT // BATCH_SIZE)
+
+_BACKBONE = BackboneConfig(
+    image_size=16, num_classes=4, base_width=4, embed_dim=16, seed=0
+)
+_LOCAL = LocalTrainingConfig(
+    local_epochs=LOCAL_EPOCHS, batch_size=BATCH_SIZE, learning_rate=0.05
+)
+
+
+def _make_clients() -> list:
+    clients = []
+    for client_id in range(K):
+        data_rng = np.random.default_rng(1000 + client_id)
+        images = data_rng.uniform(0.0, 1.0, size=(SAMPLES_PER_CLIENT, 3, 16, 16))
+        labels = data_rng.integers(0, 4, size=SAMPLES_PER_CLIENT)
+        clients.append(
+            ClientHandle(
+                client_id=client_id,
+                task_id=0,
+                group=ClientGroup.NEW,
+                dataset=ArrayDataset(images, labels),
+                rng=np.random.default_rng(2000 + client_id),
+                training=_LOCAL,
+            )
+        )
+    return clients
+
+
+def _train_cohort(kernel: str):
+    """Train the same K-client cohort for ROUNDS rounds under one kernel."""
+    method = build_method("finetune", _BACKBONE, num_tasks=1)
+    model = method.build_model()
+    server = FederatedServer(model)
+    executor = build_executor("serial", kernel=kernel)
+    losses, final_states = [], None
+    start = time.perf_counter()
+    with kernel_mode(kernel):  # what the simulation loop does around run_task
+        for _ in range(ROUNDS):
+            clients = _make_clients()  # fresh rngs: every kernel sees identical draws
+            updates = executor.run_round(method, model, server.broadcast_view(), clients)
+            losses.append([u.train_loss for u in updates])
+            final_states = [u.state_dict for u in updates]
+            server.aggregate(updates)
+    elapsed = time.perf_counter() - start
+    steps_per_sec = (K * STEPS_PER_CLIENT * ROUNDS) / elapsed
+    telemetry = getattr(executor, "telemetry", None)
+    return {
+        "elapsed": elapsed,
+        "steps_per_sec": steps_per_sec,
+        "losses": losses,
+        "states": final_states,
+        "telemetry": telemetry,
+    }
+
+
+def _assert_backward_frees_graph(method, model, client) -> dict:
+    """The satellite memory guard: backward must release the autograd graph."""
+    images = Tensor(client.dataset.images[:BATCH_SIZE])
+    labels = client.dataset.labels[:BATCH_SIZE]
+    loss = method.batch_loss(model, images, labels, client)
+    gc.collect()
+    alive_with_graph = sum(1 for obj in gc.get_objects() if isinstance(obj, Tensor))
+    loss.backward()
+    gc.collect()
+    alive_after_backward = sum(1 for obj in gc.get_objects() if isinstance(obj, Tensor))
+    freed = alive_with_graph - alive_after_backward
+    # The whole interior of the graph (activations) must become collectable;
+    # anything close to zero means backward is pinning the closures again.
+    assert freed > 0.5 * alive_with_graph, (
+        f"backward freed only {freed} of {alive_with_graph} live tensors"
+    )
+    return {"tensors_with_graph": alive_with_graph, "tensors_after_backward": alive_after_backward}
+
+
+def test_kernel_plane_throughput(bench_record):
+    eager = _train_cohort("eager")
+    tape = _train_cohort("tape")
+    batched = _train_cohort("batched")
+
+    # tape is the same numbers, bit for bit.
+    assert tape["losses"] == eager["losses"]
+    for state_a, state_b in zip(eager["states"], tape["states"]):
+        for name in state_a:
+            np.testing.assert_array_equal(state_a[name], state_b[name])
+
+    # batched reorders float accumulation: tolerance-level parity, and the
+    # whole cohort must actually have run in lockstep (no silent fallback).
+    for round_a, round_b in zip(eager["losses"], batched["losses"]):
+        np.testing.assert_allclose(round_a, round_b, atol=1e-9)
+    for state_a, state_b in zip(eager["states"], batched["states"]):
+        for name in state_a:
+            np.testing.assert_allclose(state_a[name], state_b[name], atol=1e-9)
+    telemetry = batched["telemetry"]
+    assert telemetry.lockstep_clients == K * ROUNDS
+    assert telemetry.fallback_clients == 0
+
+    batched_multiple = batched["steps_per_sec"] / eager["steps_per_sec"]
+    tape_multiple = tape["steps_per_sec"] / eager["steps_per_sec"]
+    assert batched_multiple >= 2.0, (
+        f"lockstep batching must clear 2x eager, got {batched_multiple:.2f}x"
+    )
+
+    method = build_method("finetune", _BACKBONE, num_tasks=1)
+    memory = _assert_backward_frees_graph(method, method.build_model(), _make_clients()[0])
+
+    bench_record(
+        "kernel_plane",
+        {
+            "cohort": K,
+            "steps_per_client_per_round": STEPS_PER_CLIENT,
+            "rounds": ROUNDS,
+            "eager_steps_per_sec": eager["steps_per_sec"],
+            "tape_steps_per_sec": tape["steps_per_sec"],
+            "batched_steps_per_sec": batched["steps_per_sec"],
+            "tape_multiple": tape_multiple,
+            "batched_multiple": batched_multiple,
+            "tape_bit_identical": True,
+            "lockstep_clients": telemetry.lockstep_clients,
+            "plans_compiled": telemetry.plans_compiled,
+            "backward_frees_graph": memory,
+        },
+    )
+
+    print(
+        f"\nkernel plane ({K} clients x {STEPS_PER_CLIENT} steps x {ROUNDS} rounds):\n"
+        f"  eager   {eager['steps_per_sec']:8.1f} steps/s\n"
+        f"  tape    {tape['steps_per_sec']:8.1f} steps/s ({tape_multiple:.2f}x, bit-identical)\n"
+        f"  batched {batched['steps_per_sec']:8.1f} steps/s ({batched_multiple:.2f}x, "
+        f"{telemetry.lockstep_clients} lockstep clients)"
+    )

@@ -2,9 +2,12 @@
 
 These free functions are the building blocks used by :mod:`repro.nn` layers
 and by the RefFiL losses (cross-entropy, the GPL loss, the DPCL contrastive
-loss).  Convolution and pooling are implemented as primitive operations with
-hand-written backward passes (im2col / col2im) because expressing them through
-elementary indexing ops would be prohibitively slow in pure Python.
+loss).  Convolution and pooling are implemented as primitive
+:class:`~repro.autograd.tape.Op`s with hand-written backward passes (im2col /
+col2im) because expressing them through elementary indexing ops would be
+prohibitively slow in pure Python; registering them as ops (rather than
+ad-hoc closures) makes them recordable on a tape and batchable over a
+leading client axis like every other operation.
 """
 
 from __future__ import annotations
@@ -13,7 +16,8 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
-from repro.autograd.tensor import Tensor
+from repro.autograd.tape import Op
+from repro.autograd.tensor import Tensor, apply_effect, apply_op
 
 IntOrPair = Union[int, Tuple[int, int]]
 
@@ -47,15 +51,19 @@ def tanh(x: Tensor) -> Tensor:
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
-    """Numerically stable softmax along ``axis``."""
-    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    """Numerically stable softmax along ``axis``.
+
+    The stabilising shift is ``x.max(...).detach()`` rather than a baked
+    constant so a recorded tape recomputes it from the replayed activations.
+    """
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
     exps = shifted.exp()
     return exps / exps.sum(axis=axis, keepdims=True)
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable log-softmax along ``axis``."""
-    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
     return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
 
 
@@ -83,13 +91,28 @@ def cosine_similarity(a: Tensor, b: Tensor, axis: int = -1, eps: float = 1e-12) 
     return (a_norm * b_norm).sum(axis=axis)
 
 
+def _dropout_forward(ctx, x, *, p, rng):
+    mask = (rng.random(x.shape) >= p).astype(x.dtype) / (1.0 - p)
+    ctx.mask = mask
+    return x * mask
+
+
+def _dropout_vjp(ctx, grad, needs):
+    return (grad * ctx.mask,)
+
+
+#: Dropout draws from a per-layer rng stream, so K clients replayed in
+#: lockstep would interleave one stream instead of advancing K independent
+#: ones — batch_rule=None makes plans containing it fall back per client.
+DROPOUT = Op("dropout", _dropout_forward, _dropout_vjp, batch_rule=None)
+
+
 def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generator] = None) -> Tensor:
     """Inverted dropout; identity when not training or ``p == 0``."""
     if not training or p <= 0.0:
         return x
     generator = rng if rng is not None else np.random.default_rng()
-    mask = (generator.random(x.shape) >= p).astype(x.dtype) / (1.0 - p)
-    return x * Tensor(mask)
+    return apply_op(DROPOUT, (x,), p=p, rng=generator)
 
 
 # --------------------------------------------------------------------------- #
@@ -112,6 +135,33 @@ def layer_norm(
     return normed
 
 
+def _bn_update_forward(ctx, mean, var, *, running_mean, running_var, momentum):
+    running_mean *= 1.0 - momentum
+    running_mean += momentum * mean.reshape(-1)
+    running_var *= 1.0 - momentum
+    running_var += momentum * var.reshape(-1)
+    return mean
+
+
+def _bn_update_batched_forward(ctx, info, mean, var, *, running_mean, running_var, momentum):
+    # Stacked buffers are (K, C); stacked stats are (K, 1, C, 1, 1).
+    running_mean *= 1.0 - momentum
+    running_mean += momentum * mean.reshape(running_mean.shape)
+    running_var *= 1.0 - momentum
+    running_var += momentum * var.reshape(running_var.shape)
+    return mean
+
+
+BN_UPDATE = Op(
+    "bn_update",
+    _bn_update_forward,
+    batch_rule="custom",
+    batched_forward=_bn_update_batched_forward,
+    differentiable=False,
+    effect=True,
+)
+
+
 def batch_norm_2d(
     x: Tensor,
     weight: Tensor,
@@ -125,15 +175,19 @@ def batch_norm_2d(
     """Batch normalisation for ``(N, C, H, W)`` inputs.
 
     ``running_mean`` / ``running_var`` are plain numpy buffers that are
-    updated in place when ``training`` is true.
+    updated in place when ``training`` is true (recorded as an effect op so
+    tape replays keep updating them chronologically).
     """
     if training:
         mean = x.mean(axis=(0, 2, 3), keepdims=True)
         var = x.var(axis=(0, 2, 3), keepdims=True)
-        running_mean *= 1.0 - momentum
-        running_mean += momentum * mean.data.reshape(-1)
-        running_var *= 1.0 - momentum
-        running_var += momentum * var.data.reshape(-1)
+        apply_effect(
+            BN_UPDATE,
+            (mean, var),
+            running_mean=running_mean,
+            running_var=running_var,
+            momentum=momentum,
+        )
     else:
         mean = Tensor(running_mean.reshape(1, -1, 1, 1))
         var = Tensor(running_var.reshape(1, -1, 1, 1))
@@ -190,6 +244,105 @@ def _col2im(
     return padded[:, :, ph : ph + h, pw : pw + w]
 
 
+def _conv2d_forward(ctx, x, weight, *rest, stride, padding):
+    bias = rest[0] if rest else None
+    n = x.shape[0]
+    c_out = weight.shape[0]
+    kernel = (weight.shape[2], weight.shape[3])
+    cols, out_h, out_w = _im2col(x, kernel, stride, padding)
+    w_mat = weight.reshape(c_out, -1)
+    # matmul broadcasts (c_out, f) @ (n, f, l) -> (n, c_out, l) and dispatches to BLAS.
+    out = np.matmul(w_mat, cols)
+    out = out.reshape(n, c_out, out_h, out_w)
+    if bias is not None:
+        out = out + bias.reshape(1, -1, 1, 1)
+    ctx.cols = cols
+    ctx.w_mat = w_mat
+    ctx.x_shape = x.shape
+    ctx.w_shape = weight.shape
+    ctx.kernel = kernel
+    ctx.stride = stride
+    ctx.padding = padding
+    ctx.n, ctx.c_out, ctx.out_h, ctx.out_w = n, c_out, out_h, out_w
+    return out
+
+
+def _conv2d_vjp(ctx, grad, needs):
+    grad_mat = grad.reshape(ctx.n, ctx.c_out, ctx.out_h * ctx.out_w)
+    grad_x = grad_w = grad_b = None
+    if needs[1]:
+        grad_w = np.matmul(grad_mat, ctx.cols.transpose(0, 2, 1)).sum(axis=0)
+        grad_w = grad_w.reshape(ctx.w_shape)
+    if len(needs) > 2 and needs[2]:
+        grad_b = grad.sum(axis=(0, 2, 3))
+    if needs[0]:
+        grad_cols = np.matmul(ctx.w_mat.T, grad_mat)
+        grad_x = _col2im(
+            grad_cols, ctx.x_shape, ctx.kernel, ctx.stride, ctx.padding, ctx.out_h, ctx.out_w
+        )
+    return (grad_x, grad_w, grad_b)[: len(needs)]
+
+
+def _conv2d_batched_forward(ctx, info, x, weight, *rest, stride, padding):
+    bias = rest[0] if rest else None
+    k, n = x.shape[0], x.shape[1]
+    c_out = weight.shape[1]
+    kernel = (weight.shape[3], weight.shape[4])
+    flat = np.ascontiguousarray(x).reshape((k * n,) + x.shape[2:])
+    cols, out_h, out_w = _im2col(flat, kernel, stride, padding)
+    f, length = cols.shape[1], cols.shape[2]
+    colsk = cols.reshape(k, n, f, length)
+    w_mat = weight.reshape(k, c_out, -1)
+    out = np.matmul(w_mat[:, None], colsk)  # (k, n, c_out, L)
+    out = out.reshape(k, n, c_out, out_h, out_w)
+    if bias is not None:
+        out = out + bias.reshape(k, 1, -1, 1, 1)
+    ctx.colsk = colsk
+    ctx.w_mat = w_mat
+    ctx.x_shape = x.shape
+    ctx.w_shape = weight.shape
+    ctx.kernel = kernel
+    ctx.stride = stride
+    ctx.padding = padding
+    ctx.k, ctx.n, ctx.c_out = k, n, c_out
+    ctx.f, ctx.length = f, length
+    ctx.out_h, ctx.out_w = out_h, out_w
+    return out
+
+
+def _conv2d_batched_vjp(ctx, grad, needs):
+    k, n = ctx.k, ctx.n
+    grad_mat = grad.reshape(k, n, ctx.c_out, ctx.out_h * ctx.out_w)
+    grad_x = grad_w = grad_b = None
+    if needs[1]:
+        grad_w = np.matmul(grad_mat, ctx.colsk.transpose(0, 1, 3, 2)).sum(axis=1)
+        grad_w = grad_w.reshape(ctx.w_shape)
+    if len(needs) > 2 and needs[2]:
+        grad_b = grad.sum(axis=(1, 3, 4))
+    if needs[0]:
+        grad_cols = np.matmul(ctx.w_mat[:, None].transpose(0, 1, 3, 2), grad_mat)
+        grad_x = _col2im(
+            grad_cols.reshape(k * n, ctx.f, ctx.length),
+            (k * n,) + ctx.x_shape[2:],
+            ctx.kernel,
+            ctx.stride,
+            ctx.padding,
+            ctx.out_h,
+            ctx.out_w,
+        ).reshape(ctx.x_shape)
+    return (grad_x, grad_w, grad_b)[: len(needs)]
+
+
+CONV2D = Op(
+    "conv2d",
+    _conv2d_forward,
+    _conv2d_vjp,
+    batch_rule="custom",
+    batched_forward=_conv2d_batched_forward,
+    batched_vjp=_conv2d_batched_vjp,
+)
+
+
 def conv2d(
     x: Tensor,
     weight: Tensor,
@@ -198,84 +351,129 @@ def conv2d(
     padding: IntOrPair = 0,
 ) -> Tensor:
     """2-D convolution over ``(N, C_in, H, W)`` with ``(C_out, C_in, kh, kw)`` weights."""
-    stride_pair = _pair(stride)
-    padding_pair = _pair(padding)
-    n = x.shape[0]
-    c_out, c_in, kh, kw = weight.shape
+    c_in = weight.shape[1]
     if x.shape[1] != c_in:
         raise ValueError(
             f"conv2d channel mismatch: input has {x.shape[1]} channels, weight expects {c_in}"
         )
-    cols, out_h, out_w = _im2col(x.data, (kh, kw), stride_pair, padding_pair)
-    w_mat = weight.data.reshape(c_out, -1)
-    # matmul broadcasts (c_out, f) @ (n, f, l) -> (n, c_out, l) and dispatches to BLAS.
-    out = np.matmul(w_mat, cols)
-    out = out.reshape(n, c_out, out_h, out_w)
-    if bias is not None:
-        out = out + bias.data.reshape(1, -1, 1, 1)
+    inputs = (x, weight) if bias is None else (x, weight, bias)
+    return apply_op(CONV2D, inputs, stride=_pair(stride), padding=_pair(padding))
 
-    parents = (x, weight) if bias is None else (x, weight, bias)
 
-    def backward(grad: np.ndarray) -> None:
-        grad_mat = grad.reshape(n, c_out, out_h * out_w)
-        if weight.requires_grad:
-            grad_w = np.matmul(grad_mat, cols.transpose(0, 2, 1)).sum(axis=0)
-            weight._send_grad(grad_w.reshape(weight.shape))
-        if bias is not None and bias.requires_grad:
-            bias._send_grad(grad.sum(axis=(0, 2, 3)))
-        if x.requires_grad:
-            grad_cols = np.matmul(w_mat.T, grad_mat)
-            grad_x = _col2im(
-                grad_cols, x.shape, (kh, kw), stride_pair, padding_pair, out_h, out_w
-            )
-            x._send_grad(grad_x)
+def _max_pool_forward(ctx, x, *, kernel, stride):
+    kh, kw = kernel
+    sh, sw = stride
+    n, c, h, w = x.shape
+    out_h = (h - kh) // sh + 1
+    out_w = (w - kw) // sw + 1
+    cols, _, _ = _im2col(x, kernel, stride, (0, 0))
+    cols = cols.reshape(n, c, kh * kw, out_h * out_w)
+    argmax = cols.argmax(axis=2)
+    out = np.take_along_axis(cols, argmax[:, :, None, :], axis=2).squeeze(2)
+    ctx.argmax = argmax
+    ctx.x_shape = x.shape
+    ctx.kernel = kernel
+    ctx.stride = stride
+    ctx.n, ctx.c = n, c
+    ctx.out_h, ctx.out_w = out_h, out_w
+    return out.reshape(n, c, out_h, out_w)
 
-    return Tensor._result(out, parents, backward)
+
+def _max_pool_vjp(ctx, grad, needs):
+    n, c = ctx.n, ctx.c
+    kh, kw = ctx.kernel
+    out_h, out_w = ctx.out_h, ctx.out_w
+    grad_flat = grad.reshape(n, c, out_h * out_w)
+    grad_cols = np.zeros((n, c, kh * kw, out_h * out_w), dtype=grad.dtype)
+    np.put_along_axis(grad_cols, ctx.argmax[:, :, None, :], grad_flat[:, :, None, :], axis=2)
+    grad_cols = grad_cols.reshape(n, c * kh * kw, out_h * out_w)
+    grad_x = _col2im(grad_cols, ctx.x_shape, ctx.kernel, ctx.stride, (0, 0), out_h, out_w)
+    return (grad_x,)
+
+
+def _avg_pool_forward(ctx, x, *, kernel, stride):
+    kh, kw = kernel
+    sh, sw = stride
+    n, c, h, w = x.shape
+    out_h = (h - kh) // sh + 1
+    out_w = (w - kw) // sw + 1
+    cols, _, _ = _im2col(x, kernel, stride, (0, 0))
+    cols = cols.reshape(n, c, kh * kw, out_h * out_w)
+    out = cols.mean(axis=2).reshape(n, c, out_h, out_w)
+    ctx.x_shape = x.shape
+    ctx.kernel = kernel
+    ctx.stride = stride
+    ctx.n, ctx.c = n, c
+    ctx.out_h, ctx.out_w = out_h, out_w
+    return out
+
+
+def _avg_pool_vjp(ctx, grad, needs):
+    n, c = ctx.n, ctx.c
+    kh, kw = ctx.kernel
+    out_h, out_w = ctx.out_h, ctx.out_w
+    grad_flat = grad.reshape(n, c, 1, out_h * out_w) / (kh * kw)
+    grad_cols = np.broadcast_to(grad_flat, (n, c, kh * kw, out_h * out_w)).copy()
+    grad_cols = grad_cols.reshape(n, c * kh * kw, out_h * out_w)
+    grad_x = _col2im(grad_cols, ctx.x_shape, ctx.kernel, ctx.stride, (0, 0), out_h, out_w)
+    return (grad_x,)
+
+
+def _pool_batched_forward(pool_forward):
+    # Pooling has no cross-sample interaction, so a stacked (K, N, C, H, W)
+    # batch folds the client axis into the sample axis and runs the eager
+    # kernel once; the vjp unfolds it back.
+    def batched(ctx, info, x, *, kernel, stride):
+        k, n = x.shape[0], x.shape[1]
+        flat = np.ascontiguousarray(x).reshape((k * n,) + x.shape[2:])
+        out = pool_forward(ctx, flat, kernel=kernel, stride=stride)
+        ctx.batch_k, ctx.batch_n = k, n
+        return out.reshape((k, n) + out.shape[1:])
+
+    return batched
+
+
+def _pool_batched_vjp(pool_vjp):
+    def batched(ctx, grad, needs):
+        k, n = ctx.batch_k, ctx.batch_n
+        flat_grad = grad.reshape((k * n,) + grad.shape[2:])
+        (grad_x,) = pool_vjp(ctx, flat_grad, needs)
+        return (grad_x.reshape((k, n) + grad_x.shape[1:]),)
+
+    return batched
+
+
+MAX_POOL2D = Op(
+    "max_pool2d",
+    _max_pool_forward,
+    _max_pool_vjp,
+    batch_rule="custom",
+    batched_forward=_pool_batched_forward(_max_pool_forward),
+    batched_vjp=_pool_batched_vjp(_max_pool_vjp),
+)
+
+AVG_POOL2D = Op(
+    "avg_pool2d",
+    _avg_pool_forward,
+    _avg_pool_vjp,
+    batch_rule="custom",
+    batched_forward=_pool_batched_forward(_avg_pool_forward),
+    batched_vjp=_pool_batched_vjp(_avg_pool_vjp),
+)
 
 
 def max_pool2d(x: Tensor, kernel_size: IntOrPair, stride: Optional[IntOrPair] = None) -> Tensor:
     """Max pooling over ``(N, C, H, W)``."""
-    kh, kw = _pair(kernel_size)
-    sh, sw = _pair(stride) if stride is not None else (kh, kw)
-    n, c, h, w = x.shape
-    out_h = (h - kh) // sh + 1
-    out_w = (w - kw) // sw + 1
-    cols, _, _ = _im2col(x.data, (kh, kw), (sh, sw), (0, 0))
-    cols = cols.reshape(n, c, kh * kw, out_h * out_w)
-    argmax = cols.argmax(axis=2)
-    out = np.take_along_axis(cols, argmax[:, :, None, :], axis=2).squeeze(2)
-    out = out.reshape(n, c, out_h, out_w)
-
-    def backward(grad: np.ndarray) -> None:
-        grad_flat = grad.reshape(n, c, out_h * out_w)
-        grad_cols = np.zeros((n, c, kh * kw, out_h * out_w), dtype=grad.dtype)
-        np.put_along_axis(grad_cols, argmax[:, :, None, :], grad_flat[:, :, None, :], axis=2)
-        grad_cols = grad_cols.reshape(n, c * kh * kw, out_h * out_w)
-        grad_x = _col2im(grad_cols, x.shape, (kh, kw), (sh, sw), (0, 0), out_h, out_w)
-        x._send_grad(grad_x)
-
-    return Tensor._result(out, (x,), backward)
+    kernel = _pair(kernel_size)
+    stride_pair = _pair(stride) if stride is not None else kernel
+    return apply_op(MAX_POOL2D, (x,), kernel=kernel, stride=stride_pair)
 
 
 def avg_pool2d(x: Tensor, kernel_size: IntOrPair, stride: Optional[IntOrPair] = None) -> Tensor:
     """Average pooling over ``(N, C, H, W)``."""
-    kh, kw = _pair(kernel_size)
-    sh, sw = _pair(stride) if stride is not None else (kh, kw)
-    n, c, h, w = x.shape
-    out_h = (h - kh) // sh + 1
-    out_w = (w - kw) // sw + 1
-    cols, _, _ = _im2col(x.data, (kh, kw), (sh, sw), (0, 0))
-    cols = cols.reshape(n, c, kh * kw, out_h * out_w)
-    out = cols.mean(axis=2).reshape(n, c, out_h, out_w)
-
-    def backward(grad: np.ndarray) -> None:
-        grad_flat = grad.reshape(n, c, 1, out_h * out_w) / (kh * kw)
-        grad_cols = np.broadcast_to(grad_flat, (n, c, kh * kw, out_h * out_w)).copy()
-        grad_cols = grad_cols.reshape(n, c * kh * kw, out_h * out_w)
-        grad_x = _col2im(grad_cols, x.shape, (kh, kw), (sh, sw), (0, 0), out_h, out_w)
-        x._send_grad(grad_x)
-
-    return Tensor._result(out, (x,), backward)
+    kernel = _pair(kernel_size)
+    stride_pair = _pair(stride) if stride is not None else kernel
+    return apply_op(AVG_POOL2D, (x,), kernel=kernel, stride=stride_pair)
 
 
 def global_avg_pool2d(x: Tensor) -> Tensor:

@@ -1,9 +1,18 @@
 """A tape-based reverse-mode autodiff :class:`Tensor` built on numpy.
 
 The design mirrors the small core of PyTorch that the RefFiL pipeline needs:
-every operation records a backward closure and its parent tensors; calling
-:meth:`Tensor.backward` performs a topological sort of the recorded graph and
-accumulates gradients into ``tensor.grad``.
+every operation is described by an :class:`repro.autograd.tape.Op` (forward +
+explicit vjp rule); applying one through :func:`apply_op` computes the result,
+wires a backward closure built from the op's vjp, and — when a
+:class:`~repro.autograd.tape.Tape` is tracing — records the application so the
+step can later replay as a compiled plan.  Eager mode is therefore a tape of
+length one: the closures call the *same* vjp rules replay does, so recording
+changes nothing numerically.
+
+Calling :meth:`Tensor.backward` performs a topological sort of the recorded
+graph, accumulates gradients into ``tensor.grad``, and then frees the
+traversed graph (drops ``_backward``/``_parents`` on interior nodes) so peak
+memory between batches no longer retains every intermediate activation.
 
 Only float arrays participate in differentiation.  Integer arrays (labels,
 indices) are carried around as plain numpy arrays by the rest of the code
@@ -16,6 +25,9 @@ import contextlib
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from repro.autograd import tape as _tape
+from repro.autograd.tape import Op, OpContext, unbroadcast
 
 Number = Union[int, float]
 ArrayLike = Union[Number, Sequence, np.ndarray, "Tensor"]
@@ -86,25 +98,6 @@ def _as_array(value: ArrayLike, dtype=None) -> np.ndarray:
     return array
 
 
-def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
-    """Sum ``grad`` down to ``shape`` undoing numpy broadcasting.
-
-    Used by every binary op so that, e.g., a bias of shape ``(d,)`` added to a
-    batch of shape ``(n, d)`` receives a gradient of shape ``(d,)``.
-    """
-    if grad.shape == shape:
-        return grad
-    # Sum over leading dimensions that were added by broadcasting.
-    extra_dims = grad.ndim - len(shape)
-    if extra_dims > 0:
-        grad = grad.sum(axis=tuple(range(extra_dims)))
-    # Sum over dimensions that were broadcast from size 1.
-    axes = tuple(i for i, size in enumerate(shape) if size == 1 and grad.shape[i] != 1)
-    if axes:
-        grad = grad.sum(axis=axes, keepdims=True)
-    return grad.reshape(shape)
-
-
 class Tensor:
     """A differentiable, numpy-backed multi-dimensional array."""
 
@@ -167,7 +160,7 @@ class Tensor:
 
     def detach(self) -> "Tensor":
         """Return a new tensor sharing data but cut from the graph."""
-        return Tensor(self.data, requires_grad=False)
+        return apply_op(_tape.DETACH, (self,))
 
     def copy(self) -> "Tensor":
         return Tensor(self.data.copy(), requires_grad=self.requires_grad)
@@ -203,6 +196,10 @@ class Tensor:
     # ------------------------------------------------------------------ #
     def backward(self, grad: Optional[ArrayLike] = None) -> None:
         """Run reverse-mode autodiff from this tensor.
+
+        After the traversal the visited graph is freed: interior nodes drop
+        their ``_backward`` closures and parent links, so the activations a
+        batch produced become collectable as soon as its gradients are in.
 
         Parameters
         ----------
@@ -261,6 +258,14 @@ class Tensor:
             remaining = grads.pop(id(node), None)
             if remaining is not None:
                 node._accumulate(remaining)
+        # Free the traversed graph: without this, the last loss of every
+        # batch keeps the whole activation graph alive until the next batch
+        # overwrites it, doubling steady-state peak memory.
+        for node in order:
+            if node._backward is not None:
+                node._backward = None
+                node._parents = ()
+                node._pending_grad = None
 
     # The backward closures communicate with the traversal above by calling
     # ``_send_grad`` on their parents rather than mutating ``grad`` directly.
@@ -280,74 +285,34 @@ class Tensor:
     # Elementwise arithmetic
     # ------------------------------------------------------------------ #
     def __add__(self, other: ArrayLike) -> "Tensor":
-        other_t = other if isinstance(other, Tensor) else Tensor(other)
-        data = self.data + other_t.data
-
-        def backward(grad: np.ndarray) -> None:
-            self._send_grad(unbroadcast(grad, self.shape))
-            other_t._send_grad(unbroadcast(grad, other_t.shape))
-
-        return Tensor._result(data, (self, other_t), backward)
+        return apply_op(_tape.ADD, (self, other))
 
     __radd__ = __add__
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
-        other_t = other if isinstance(other, Tensor) else Tensor(other)
-        data = self.data - other_t.data
-
-        def backward(grad: np.ndarray) -> None:
-            self._send_grad(unbroadcast(grad, self.shape))
-            other_t._send_grad(unbroadcast(-grad, other_t.shape))
-
-        return Tensor._result(data, (self, other_t), backward)
+        return apply_op(_tape.SUB, (self, other))
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
         return Tensor(other) - self
 
     def __mul__(self, other: ArrayLike) -> "Tensor":
-        other_t = other if isinstance(other, Tensor) else Tensor(other)
-        data = self.data * other_t.data
-
-        def backward(grad: np.ndarray) -> None:
-            self._send_grad(unbroadcast(grad * other_t.data, self.shape))
-            other_t._send_grad(unbroadcast(grad * self.data, other_t.shape))
-
-        return Tensor._result(data, (self, other_t), backward)
+        return apply_op(_tape.MUL, (self, other))
 
     __rmul__ = __mul__
 
     def __truediv__(self, other: ArrayLike) -> "Tensor":
-        other_t = other if isinstance(other, Tensor) else Tensor(other)
-        data = self.data / other_t.data
-
-        def backward(grad: np.ndarray) -> None:
-            self._send_grad(unbroadcast(grad / other_t.data, self.shape))
-            other_t._send_grad(
-                unbroadcast(-grad * self.data / (other_t.data ** 2), other_t.shape)
-            )
-
-        return Tensor._result(data, (self, other_t), backward)
+        return apply_op(_tape.DIV, (self, other))
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
         return Tensor(other) / self
 
     def __neg__(self) -> "Tensor":
-        data = -self.data
-
-        def backward(grad: np.ndarray) -> None:
-            self._send_grad(-grad)
-
-        return Tensor._result(data, (self,), backward)
+        return apply_op(_tape.NEG, (self,))
 
     def __pow__(self, exponent: Number) -> "Tensor":
         if isinstance(exponent, Tensor):
             raise TypeError("Tensor exponents are not supported; use exp/log instead")
-        data = self.data ** exponent
-
-        def backward(grad: np.ndarray) -> None:
-            self._send_grad(grad * exponent * self.data ** (exponent - 1))
-
-        return Tensor._result(data, (self,), backward)
+        return apply_op(_tape.POW, (self,), exponent=exponent)
 
     # ------------------------------------------------------------------ #
     # Comparison (non-differentiable, returns plain numpy bool arrays)
@@ -368,32 +333,7 @@ class Tensor:
     # Matrix multiplication
     # ------------------------------------------------------------------ #
     def __matmul__(self, other: ArrayLike) -> "Tensor":
-        other_t = other if isinstance(other, Tensor) else Tensor(other)
-        data = np.matmul(self.data, other_t.data)
-
-        def backward(grad: np.ndarray) -> None:
-            a, b = self.data, other_t.data
-            if a.ndim == 1 and b.ndim == 1:
-                self._send_grad(grad * b)
-                other_t._send_grad(grad * a)
-                return
-            a_mat = a[None, :] if a.ndim == 1 else a
-            b_mat = b[:, None] if b.ndim == 1 else b
-            grad_mat = grad
-            if a.ndim == 1:
-                grad_mat = np.expand_dims(grad_mat, -2)
-            if b.ndim == 1:
-                grad_mat = np.expand_dims(grad_mat, -1)
-            grad_a = np.matmul(grad_mat, np.swapaxes(b_mat, -1, -2))
-            grad_b = np.matmul(np.swapaxes(a_mat, -1, -2), grad_mat)
-            if a.ndim == 1:
-                grad_a = np.squeeze(grad_a, -2)
-            if b.ndim == 1:
-                grad_b = np.squeeze(grad_b, -1)
-            self._send_grad(unbroadcast(grad_a, self.shape))
-            other_t._send_grad(unbroadcast(grad_b, other_t.shape))
-
-        return Tensor._result(data, (self, other_t), backward)
+        return apply_op(_tape.MATMUL, (self, other))
 
     def __rmatmul__(self, other: ArrayLike) -> "Tensor":
         return Tensor(other) @ self
@@ -405,88 +345,34 @@ class Tensor:
     # Unary math
     # ------------------------------------------------------------------ #
     def exp(self) -> "Tensor":
-        data = np.exp(self.data)
-
-        def backward(grad: np.ndarray) -> None:
-            self._send_grad(grad * data)
-
-        return Tensor._result(data, (self,), backward)
+        return apply_op(_tape.EXP, (self,))
 
     def log(self) -> "Tensor":
-        data = np.log(self.data)
-
-        def backward(grad: np.ndarray) -> None:
-            self._send_grad(grad / self.data)
-
-        return Tensor._result(data, (self,), backward)
+        return apply_op(_tape.LOG, (self,))
 
     def sqrt(self) -> "Tensor":
-        data = np.sqrt(self.data)
-
-        def backward(grad: np.ndarray) -> None:
-            self._send_grad(grad * 0.5 / np.maximum(data, 1e-12))
-
-        return Tensor._result(data, (self,), backward)
+        return apply_op(_tape.SQRT, (self,))
 
     def tanh(self) -> "Tensor":
-        data = np.tanh(self.data)
-
-        def backward(grad: np.ndarray) -> None:
-            self._send_grad(grad * (1.0 - data ** 2))
-
-        return Tensor._result(data, (self,), backward)
+        return apply_op(_tape.TANH, (self,))
 
     def sigmoid(self) -> "Tensor":
-        data = 1.0 / (1.0 + np.exp(-self.data))
-
-        def backward(grad: np.ndarray) -> None:
-            self._send_grad(grad * data * (1.0 - data))
-
-        return Tensor._result(data, (self,), backward)
+        return apply_op(_tape.SIGMOID, (self,))
 
     def relu(self) -> "Tensor":
-        mask = self.data > 0
-        data = self.data * mask
-
-        def backward(grad: np.ndarray) -> None:
-            self._send_grad(grad * mask)
-
-        return Tensor._result(data, (self,), backward)
+        return apply_op(_tape.RELU, (self,))
 
     def abs(self) -> "Tensor":
-        data = np.abs(self.data)
-        sign = np.sign(self.data)
-
-        def backward(grad: np.ndarray) -> None:
-            self._send_grad(grad * sign)
-
-        return Tensor._result(data, (self,), backward)
+        return apply_op(_tape.ABS, (self,))
 
     def clip(self, minimum: Number, maximum: Number) -> "Tensor":
-        data = np.clip(self.data, minimum, maximum)
-        mask = (self.data >= minimum) & (self.data <= maximum)
-
-        def backward(grad: np.ndarray) -> None:
-            self._send_grad(grad * mask)
-
-        return Tensor._result(data, (self,), backward)
+        return apply_op(_tape.CLIP, (self,), minimum=minimum, maximum=maximum)
 
     # ------------------------------------------------------------------ #
     # Reductions
     # ------------------------------------------------------------------ #
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
-        data = self.data.sum(axis=axis, keepdims=keepdims)
-
-        def backward(grad: np.ndarray) -> None:
-            expanded = grad
-            if axis is not None and not keepdims:
-                axes = axis if isinstance(axis, tuple) else (axis,)
-                axes = tuple(a % self.data.ndim for a in axes)
-                for a in sorted(axes):
-                    expanded = np.expand_dims(expanded, a)
-            self._send_grad(np.broadcast_to(expanded, self.shape).copy())
-
-        return Tensor._result(data, (self,), backward)
+        return apply_op(_tape.SUM, (self,), axis=axis, keepdims=keepdims)
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -503,20 +389,7 @@ class Tensor:
         return result
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
-        data = self.data.max(axis=axis, keepdims=keepdims)
-
-        def backward(grad: np.ndarray) -> None:
-            expanded_data = self.data.max(axis=axis, keepdims=True)
-            mask = (self.data == expanded_data).astype(self.data.dtype)
-            mask = mask / np.maximum(mask.sum(axis=axis, keepdims=True), 1.0)
-            expanded_grad = grad
-            if axis is not None and not keepdims:
-                axes = axis if isinstance(axis, tuple) else (axis,)
-                for a in sorted(a % self.data.ndim for a in axes):
-                    expanded_grad = np.expand_dims(expanded_grad, a)
-            self._send_grad(mask * expanded_grad)
-
-        return Tensor._result(data, (self,), backward)
+        return apply_op(_tape.MAX, (self,), axis=axis, keepdims=keepdims)
 
     def min(self, axis=None, keepdims: bool = False) -> "Tensor":
         return -(-self).max(axis=axis, keepdims=keepdims)
@@ -527,13 +400,7 @@ class Tensor:
     def reshape(self, *shape) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
-        data = self.data.reshape(shape)
-        original_shape = self.shape
-
-        def backward(grad: np.ndarray) -> None:
-            self._send_grad(grad.reshape(original_shape))
-
-        return Tensor._result(data, (self,), backward)
+        return apply_op(_tape.RESHAPE, (self,), shape=shape)
 
     def flatten(self, start_dim: int = 0) -> "Tensor":
         shape = self.shape[:start_dim] + (-1,)
@@ -544,13 +411,7 @@ class Tensor:
             axes = tuple(axes[0])
         if not axes:
             axes = tuple(reversed(range(self.ndim)))
-        data = self.data.transpose(axes)
-        inverse = np.argsort(axes)
-
-        def backward(grad: np.ndarray) -> None:
-            self._send_grad(grad.transpose(inverse))
-
-        return Tensor._result(data, (self,), backward)
+        return apply_op(_tape.TRANSPOSE, (self,), axes=axes)
 
     @property
     def T(self) -> "Tensor":
@@ -562,82 +423,30 @@ class Tensor:
         return self.transpose(*axes)
 
     def expand_dims(self, axis: int) -> "Tensor":
-        data = np.expand_dims(self.data, axis)
-
-        def backward(grad: np.ndarray) -> None:
-            self._send_grad(np.squeeze(grad, axis))
-
-        return Tensor._result(data, (self,), backward)
+        return apply_op(_tape.EXPAND_DIMS, (self,), axis=axis)
 
     def squeeze(self, axis: Optional[int] = None) -> "Tensor":
-        data = np.squeeze(self.data, axis) if axis is not None else np.squeeze(self.data)
-        original_shape = self.shape
-
-        def backward(grad: np.ndarray) -> None:
-            self._send_grad(grad.reshape(original_shape))
-
-        return Tensor._result(data, (self,), backward)
+        return apply_op(_tape.SQUEEZE, (self,), axis=axis)
 
     def broadcast_to(self, shape: Tuple[int, ...]) -> "Tensor":
-        data = np.broadcast_to(self.data, shape).copy()
-        original_shape = self.shape
-
-        def backward(grad: np.ndarray) -> None:
-            self._send_grad(unbroadcast(grad, original_shape))
-
-        return Tensor._result(data, (self,), backward)
+        return apply_op(_tape.BROADCAST_TO, (self,), shape=tuple(shape))
 
     def __getitem__(self, index) -> "Tensor":
-        data = self.data[index]
-
-        def backward(grad: np.ndarray) -> None:
-            full = np.zeros_like(self.data)
-            np.add.at(full, index, grad)
-            self._send_grad(full)
-
-        return Tensor._result(data, (self,), backward)
+        return apply_op(_tape.GETITEM, (self,), index=index)
 
     def pad(self, pad_width, constant: Number = 0.0) -> "Tensor":
-        data = np.pad(self.data, pad_width, mode="constant", constant_values=constant)
-        slices = tuple(
-            slice(before, before + size)
-            for (before, _), size in zip(pad_width, self.shape)
-        )
-
-        def backward(grad: np.ndarray) -> None:
-            self._send_grad(grad[slices])
-
-        return Tensor._result(data, (self,), backward)
+        return apply_op(_tape.PAD, (self,), pad_width=pad_width, constant=constant)
 
     # ------------------------------------------------------------------ #
     # Static constructors / combinators
     # ------------------------------------------------------------------ #
     @staticmethod
     def concatenate(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
-        tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
-        data = np.concatenate([t.data for t in tensors], axis=axis)
-        sizes = [t.shape[axis] for t in tensors]
-        offsets = np.cumsum([0] + sizes)
-
-        def backward(grad: np.ndarray) -> None:
-            for tensor, start, end in zip(tensors, offsets[:-1], offsets[1:]):
-                slicer = [slice(None)] * grad.ndim
-                slicer[axis] = slice(start, end)
-                tensor._send_grad(grad[tuple(slicer)])
-
-        return Tensor._result(data, tensors, backward)
+        return apply_op(_tape.CONCATENATE, tuple(tensors), axis=axis)
 
     @staticmethod
     def stack(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
-        tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
-        data = np.stack([t.data for t in tensors], axis=axis)
-
-        def backward(grad: np.ndarray) -> None:
-            split = np.split(grad, len(tensors), axis=axis)
-            for tensor, piece in zip(tensors, split):
-                tensor._send_grad(np.squeeze(piece, axis=axis))
-
-        return Tensor._result(data, tensors, backward)
+        return apply_op(_tape.STACK, tuple(tensors), axis=axis)
 
     @staticmethod
     def zeros(shape, requires_grad: bool = False) -> "Tensor":
@@ -657,8 +466,56 @@ class Tensor:
         return Tensor(np.asarray(array, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)
 
 
+# --------------------------------------------------------------------------- #
+# Op application: the single gateway every tensor operation goes through
+# --------------------------------------------------------------------------- #
+def apply_op(op: Op, inputs: Sequence[ArrayLike], **kwargs) -> Tensor:
+    """Apply ``op`` eagerly and (when tracing) record it on the active tape.
+
+    The backward closure wired here calls the *same* ``op.vjp`` rule a plan
+    replay calls, in the same input order, so eager and replayed gradients
+    are bit-for-bit identical by construction.
+    """
+    tensors = tuple(t if isinstance(t, Tensor) else Tensor(t) for t in inputs)
+    ctx = OpContext()
+    data = op.forward(ctx, *(t.data for t in tensors), **kwargs)
+    if op.differentiable:
+        needs = tuple(t.requires_grad for t in tensors)
+
+        def backward(grad: np.ndarray) -> None:
+            input_grads = op.vjp(ctx, grad, needs)
+            for tensor, input_grad in zip(tensors, input_grads):
+                if input_grad is not None:
+                    tensor._send_grad(input_grad)
+
+        out = Tensor._result(data, tensors, backward)
+    else:
+        out = Tensor(data, requires_grad=False)
+    tape = _tape.active_tape()
+    if tape is not None:
+        tape.record(op, tensors, out, kwargs)
+    return out
+
+
+def apply_effect(op: Op, inputs: Sequence[ArrayLike], **kwargs) -> None:
+    """Run a side-effecting op (e.g. batch-norm running-stat updates).
+
+    No tensor is produced; when tracing, the effect is recorded so replays
+    re-execute it chronologically (and batched replays run its vectorized
+    variant over stacked buffers).
+    """
+    tensors = tuple(t if isinstance(t, Tensor) else Tensor(t) for t in inputs)
+    ctx = OpContext()
+    op.forward(ctx, *(t.data for t in tensors), **kwargs)
+    tape = _tape.active_tape()
+    if tape is not None:
+        tape.record_effect(op, tensors, kwargs)
+
+
 __all__ = [
     "Tensor",
+    "apply_op",
+    "apply_effect",
     "no_grad",
     "is_grad_enabled",
     "unbroadcast",

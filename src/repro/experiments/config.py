@@ -139,6 +139,7 @@ def scaled_config(
     num_workers: int = 0,
     shard_cache: bool = True,
     dtype: str = "float64",
+    kernel: str = "eager",
     eval_executor: str = "serial",
     eval_every: int = 0,
     transport: str = "loopback",
@@ -169,6 +170,9 @@ def scaled_config(
     (``"serial"`` / ``"parallel"``), ``num_workers`` (0 = one per CPU),
     ``shard_cache`` (per-worker client-shard cache of the parallel data
     plane, default on), ``dtype`` (``"float64"`` / ``"float32"``), the
+    kernel plane's ``kernel`` (``"eager"`` closure autograd / ``"tape"``
+    compiled-plan replay, hash-identical to eager / ``"batched"`` lockstep
+    multi-client vectorization, serial-executor-only), the
     evaluation plane's ``eval_executor`` (``"serial"`` / ``"parallel"``
     seen-task evaluation) and ``eval_every`` (mid-task evaluation every ``k``
     rounds, 0 = off), and the communication plane's ``transport``
@@ -235,6 +239,7 @@ def scaled_config(
         num_workers=num_workers,
         shard_cache=shard_cache,
         dtype=dtype,
+        kernel=kernel,
         eval_executor=eval_executor,
         eval_every=eval_every,
         transport=transport,

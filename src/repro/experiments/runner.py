@@ -128,11 +128,21 @@ def _normalize_execution_knobs(federated: FederatedConfig) -> FederatedConfig:
         virtual_clients = False
     if federated.reduce_backend == "flat":
         tree_fanout = FederatedConfig.tree_fanout
+    # Kernel-plane knob: the tape kernel is verified hash-identical to eager
+    # (every plan's first replay is compared bit-for-bit against the eager
+    # step and any divergence falls back), so ``"tape"`` folds to ``"eager"``.
+    # The batched lockstep kernel reorders float accumulation (stacked
+    # matmuls, vectorized clip norms) and genuinely changes the numbers, so
+    # it stays in the key.
+    kernel = federated.kernel
+    if kernel == "tape":
+        kernel = "eager"
     return replace(
         federated,
         executor="serial",
         num_workers=0,
         shard_cache=True,
+        kernel=kernel,
         eval_executor="serial",
         transport="loopback",
         codec=codec,

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.autograd.tape import KERNELS
 from repro.federated.client import LocalTrainingConfig
 from repro.federated.clock import PROFILE_TIERS
 from repro.federated.communication import build_codec
@@ -55,6 +56,17 @@ class FederatedConfig:
         Compute precision of the whole pipeline: ``"float64"`` (reference) or
         ``"float32"`` (≈2x lower memory bandwidth; accuracy differences are
         within noise at these scales).
+    kernel:
+        How a client's local SGD steps execute (the kernel plane;
+        :mod:`repro.autograd.tape`): ``"eager"`` (default) is the historical
+        closure-based autograd loop; ``"tape"`` traces each batch shape once
+        into a compiled plan and replays it — verified hash-identical to
+        eager on its first replay, falling back to eager on any divergence;
+        ``"batched"`` additionally stacks eligible same-schedule clients
+        along a leading axis and trains the whole cohort through one
+        vectorized plan step per batch (:mod:`repro.federated.lockstep`) —
+        exact in structure (same draws, same step counts) but tolerance-level
+        in floats, and requires ``executor="serial"``.
     eval_executor:
         How the seen-task evaluation suite runs: ``"serial"`` (historical
         in-process loop) or ``"parallel"`` (fan seen tasks × batch-aligned
@@ -217,6 +229,7 @@ class FederatedConfig:
     num_workers: int = 0
     shard_cache: bool = True
     dtype: str = "float64"
+    kernel: str = "eager"
     eval_executor: str = "serial"
     eval_every: int = 0
     transport: str = "loopback"
@@ -250,6 +263,16 @@ class FederatedConfig:
             raise ValueError(f"executor must be 'serial' or 'parallel', got {self.executor!r}")
         if self.num_workers < 0:
             raise ValueError("num_workers must be non-negative")
+        if self.kernel not in KERNELS:
+            raise ValueError(
+                f"kernel must be one of {KERNELS}, got {self.kernel!r}"
+            )
+        if self.kernel == "batched" and self.executor != "serial":
+            raise ValueError(
+                "kernel='batched' requires executor='serial': lockstep "
+                "vectorizes the round's cohort itself, so a worker pool "
+                "underneath it would shard the very groups it batches"
+            )
         if self.eval_executor not in ("serial", "parallel"):
             raise ValueError(
                 f"eval_executor must be 'serial' or 'parallel', got {self.eval_executor!r}"

@@ -91,6 +91,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.autograd.tape import KERNELS, set_kernel
 from repro.autograd.tensor import get_default_dtype, set_default_dtype
 from repro.continual.evaluator import EvalBackend, PredictFn, count_correct
 from repro.continual.scenario import Task
@@ -166,6 +167,7 @@ def _run_client_chunk(
     broadcast_blob: bytes,
     indexed_clients: Sequence[Tuple[int, ClientHandle]],
     dtype_name: str,
+    kernel: str = "eager",
 ) -> List[Tuple[int, ClientUpdate, Any]]:
     """Train one worker's share of the round's clients.
 
@@ -173,8 +175,11 @@ def _run_client_chunk(
     the parent serialized each exactly once and every chunk reuses the same
     bytes.  Returns ``(selection_index, update, exported_client_state)``
     triples so the parent can restore selection order and merge method state.
+    The parent's autograd kernel travels with every chunk (like the compute
+    dtype) so ``kernel="tape"`` runs trace-and-replay inside the workers too.
     """
     set_default_dtype(dtype_name)
+    set_kernel(kernel)
     method: FederatedMethod = pickle.loads(method_blob)
     state, payload = deserialize_state(broadcast_blob)
     # numpy's writeable=False flag does not survive pickling; re-protect the
@@ -430,11 +435,11 @@ def _worker_main(worker_id: int, task_queue, result_queue) -> None:
             os._exit(int(payload))
         try:
             if kind == "train":
-                method_blob, broadcast_blob, items, shard_blobs, dtype_name, task_id = payload
+                method_blob, broadcast_blob, items, shard_blobs, dtype_name, task_id, kernel = payload
                 _install_shards(shard_blobs)
                 _evict_stale_shards(task_id)
                 results = _run_client_chunk(
-                    method_blob, broadcast_blob, _resolve_chunk(items), dtype_name
+                    method_blob, broadcast_blob, _resolve_chunk(items), dtype_name, kernel
                 )
             elif kind == "eval":
                 method_blob, broadcast_blob, items, shard_blobs, dtype_name = payload
@@ -645,6 +650,36 @@ class SerialExecutor(Executor):
         return updates
 
 
+class BatchedExecutor(SerialExecutor):
+    """Lockstep execution: one vectorized plan step trains the whole cohort.
+
+    The ``kernel="batched"`` executor.  Eligible clients (see
+    :mod:`repro.federated.lockstep`) are grouped by training schedule and
+    trained through a single stacked plan replay per step; everything else
+    degenerates to the serial path (which under a non-eager kernel is the
+    tape kernel's trace-and-replay loop).  ``telemetry`` counts how the
+    round's clients actually executed, for the kernel-plane bench.
+    """
+
+    def __init__(self) -> None:
+        # Local import: lockstep pulls in the baselines package for its
+        # eligibility check, which itself imports this module at load time.
+        from repro.federated.lockstep import LockstepTelemetry
+
+        self.telemetry = LockstepTelemetry()
+
+    def run_round(
+        self,
+        method: FederatedMethod,
+        model: Module,
+        broadcast: BroadcastHandle,
+        clients: Sequence[ClientHandle],
+    ) -> List[ClientUpdate]:
+        from repro.federated.lockstep import run_lockstep_round
+
+        return run_lockstep_round(method, model, broadcast, clients, self.telemetry)
+
+
 @dataclass(frozen=True)
 class RoundIPC:
     """What one completed parallel round shipped to its workers.
@@ -716,9 +751,13 @@ class ParallelExecutor(Executor):
         num_workers: Optional[int] = None,
         shard_cache: bool = True,
         max_respawns: int = 0,
+        kernel: str = "eager",
     ) -> None:
         self.num_workers = max(1, num_workers if num_workers else (os.cpu_count() or 1))
         self.shard_cache = shard_cache
+        #: Autograd kernel every train chunk runs under (``"eager"`` or
+        #: ``"tape"``; the lockstep ``"batched"`` kernel is serial-only).
+        self.kernel = kernel
         #: Self-healing budget: how many dead workers this executor may
         #: replace over its lifetime before a death propagates as
         #: :class:`WorkerDiedError`.  ``0`` (the default) disables healing —
@@ -785,7 +824,10 @@ class ParallelExecutor(Executor):
                 if self.shard_cache:
                     inventory.add(key)
             items.append((index, client.lighten(), ref))
-        return ("train", (method_blob, broadcast_blob, items, shard_blobs, dtype_name, task_id))
+        return (
+            "train",
+            (method_blob, broadcast_blob, items, shard_blobs, dtype_name, task_id, self.kernel),
+        )
 
     def _build_eval_message(
         self,
@@ -1192,18 +1234,32 @@ def build_executor(
     num_workers: int = 0,
     shard_cache: bool = True,
     max_respawns: int = 0,
+    kernel: str = "eager",
 ) -> Executor:
     """Construct an executor from the :class:`FederatedConfig` knobs."""
+    if kernel not in KERNELS:
+        raise ValueError(f"unknown kernel {kernel!r}; choose one of {KERNELS}")
+    if kernel == "batched":
+        if executor != "serial":
+            raise ValueError(
+                "kernel='batched' requires executor='serial': lockstep already "
+                "vectorizes the cohort, a worker pool underneath it would "
+                "shard the very groups it batches"
+            )
+        return BatchedExecutor()
     if executor == "serial":
         return SerialExecutor()
     if executor == "parallel":
-        return ParallelExecutor(num_workers, shard_cache=shard_cache, max_respawns=max_respawns)
+        return ParallelExecutor(
+            num_workers, shard_cache=shard_cache, max_respawns=max_respawns, kernel=kernel
+        )
     raise ValueError(f"unknown executor {executor!r}; choose 'serial' or 'parallel'")
 
 
 __all__ = [
     "Executor",
     "SerialExecutor",
+    "BatchedExecutor",
     "ParallelExecutor",
     "ParallelEvalBackend",
     "RoundIPC",

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.autograd.tape import kernel_mode
 from repro.autograd.tensor import default_dtype, get_default_dtype
 from repro.continual.evaluator import EvalBackend, GlobalEvaluator
 from repro.continual.metrics import ContinualMetrics
@@ -203,7 +204,11 @@ class FederatedDomainIncrementalSimulation:
             else 0
         )
         self.executor = build_executor(
-            config.executor, config.num_workers, config.shard_cache, max_respawns=max_respawns
+            config.executor,
+            config.num_workers,
+            config.shard_cache,
+            max_respawns=max_respawns,
+            kernel=config.kernel,
         )
         # The evaluation plane: when eval_executor="parallel", seen-task
         # evaluation fans over a pinned worker pool — the training executor's
@@ -763,8 +768,13 @@ class FederatedDomainIncrementalSimulation:
         must not replay ``on_task_start`` (it already ran before round 0 of
         the original process); data assignment always replays, because client
         shards are derived state the checkpoint deliberately does not carry.
+
+        Local training runs under the configured autograd kernel (the
+        ``kernel_mode`` wrapper reaches the serial and batched executors'
+        in-process ``run_local_sgd`` calls; parallel workers receive the
+        kernel with every train chunk instead).
         """
-        with default_dtype(self.config.dtype):
+        with default_dtype(self.config.dtype), kernel_mode(self.config.kernel):
             if not resumed:
                 self.method.on_task_start(task.task_id, self.server)
                 self.server.invalidate_broadcast()

@@ -227,3 +227,114 @@ class TestNumericalGradientHelper:
         x = Tensor(np.array([2.0, -3.0]))
         grad = numerical_gradient(lambda t: (t * t).sum(), [x])
         assert np.allclose(grad, [4.0, -6.0], atol=1e-4)
+
+
+class TestEveryOpGradCheck:
+    """Systematic float64 finite-difference sweep over ``functional.__all__``.
+
+    Every differentiable functional gets at least one check against its
+    numerical gradient; ops with kinks (relu, max_pool) use inputs bounded
+    away from the kink so the finite difference is well defined, and
+    stateful ops (dropout, batch_norm) rebuild their state inside the
+    closure so repeated evaluations are deterministic.
+    """
+
+    def _rand(self, *shape):
+        return Tensor(RNG.standard_normal(shape), requires_grad=True)
+
+    def test_relu(self):
+        x = RNG.standard_normal((4, 5))
+        x = Tensor(x + 0.2 * np.sign(x), requires_grad=True)  # keep away from the kink
+        assert check_gradient(lambda t: F.relu(t).sum(), [x])
+
+    def test_sigmoid(self):
+        assert check_gradient(lambda t: F.sigmoid(t).sum(), [self._rand(3, 4)])
+
+    def test_tanh(self):
+        assert check_gradient(lambda t: F.tanh(t).sum(), [self._rand(3, 4)])
+
+    def test_softmax(self):
+        w = RNG.standard_normal((3, 6))  # weighted sum so the gradient is non-trivial
+        x = self._rand(3, 6)
+        assert check_gradient(lambda t: (F.softmax(t) * Tensor(w)).sum(), [x])
+
+    def test_log_softmax(self):
+        w = RNG.standard_normal((4, 5))
+        x = self._rand(4, 5)
+        assert check_gradient(lambda t: (F.log_softmax(t) * Tensor(w)).sum(), [x])
+
+    def test_linear_all_inputs(self):
+        x, w, b = self._rand(4, 3), self._rand(5, 3), self._rand(5)
+        fn = lambda x, w, b: F.linear(x, w, b).sum()
+        for wrt in range(3):
+            assert check_gradient(fn, [x, w, b], wrt=wrt)
+
+    def test_l2_normalize(self):
+        w = RNG.standard_normal((4, 6))
+        x = self._rand(4, 6)
+        assert check_gradient(lambda t: (F.l2_normalize(t) * Tensor(w)).sum(), [x])
+
+    def test_dropout(self):
+        x = self._rand(6, 6)
+        fn = lambda t: F.dropout(t, 0.4, training=True, rng=np.random.default_rng(3)).sum()
+        assert check_gradient(fn, [x])
+
+    def test_batch_norm_2d(self):
+        x = self._rand(4, 3, 2, 2)
+        w, b = self._rand(3), self._rand(3)
+
+        def fn(x, w, b):
+            # fresh buffers per call: the in-place running-stat update must not
+            # leak across the repeated evaluations of the finite difference
+            return F.batch_norm_2d(x, w, b, np.zeros(3), np.ones(3), training=True).sum()
+
+        for wrt in range(3):
+            assert check_gradient(fn, [x, w, b], wrt=wrt, atol=1e-3)
+
+    def test_global_avg_pool2d(self):
+        assert check_gradient(lambda t: F.global_avg_pool2d(t).sum(), [self._rand(2, 3, 4, 4)])
+
+    def test_nll_loss(self):
+        targets = np.array([0, 2, 1])
+        log_probs = self._rand(3, 4)
+        for reduction in ("mean", "sum"):
+            assert check_gradient(
+                lambda t: F.nll_loss(t, targets, reduction=reduction), [log_probs]
+            )
+
+    def test_soft_cross_entropy_both_inputs(self):
+        logits = self._rand(3, 5)
+        soft = F.softmax(Tensor(RNG.standard_normal((3, 5)), requires_grad=True))
+        soft = Tensor(soft.data, requires_grad=True)  # valid distribution as a leaf
+        fn = lambda lo, so: F.soft_cross_entropy(lo, so)
+        assert check_gradient(fn, [logits, soft], wrt=0)
+        assert check_gradient(fn, [logits, soft], wrt=1)
+
+    def test_knowledge_distillation_loss_wrt_student(self):
+        student, teacher = self._rand(3, 5), self._rand(3, 5)
+        assert check_gradient(
+            lambda s, t: F.knowledge_distillation_loss(s, t, temperature=2.0),
+            [student, teacher],
+            wrt=0,
+        )
+
+    def test_kd_loss_teacher_is_detached(self):
+        student, teacher = self._rand(3, 5), self._rand(3, 5)
+        F.knowledge_distillation_loss(student, teacher).backward()
+        assert student.grad is not None
+        assert teacher.grad is None
+
+    def test_mse_loss(self):
+        pred, target = self._rand(4, 3), self._rand(4, 3)
+        for reduction in ("mean", "sum"):
+            fn = lambda p, t: F.mse_loss(p, t, reduction=reduction)
+            assert check_gradient(fn, [pred, target], wrt=0)
+            assert check_gradient(fn, [pred, target], wrt=1)
+
+    def test_embedding_wrt_weight(self):
+        weight = self._rand(7, 4)
+        indices = np.array([1, 3, 3, 0])
+        scale = RNG.standard_normal((4, 4))
+        assert check_gradient(
+            lambda w: (F.embedding(w, indices) * Tensor(scale)).sum(), [weight]
+        )

@@ -142,3 +142,68 @@ class TestSchedulers:
             StepLR(opt, step_size=0)
         with pytest.raises(ValueError):
             CosineAnnealingLR(opt, t_max=0)
+
+
+class TestClipFrozenParams:
+    def test_clip_norm_excludes_frozen_params(self):
+        # A stale grad left on a later-frozen parameter must not inflate the
+        # global norm: with only the live grad (norm 3) clipped to 1, the
+        # update is exactly -1; counting the frozen grad would make it -0.6.
+        live = Parameter(np.array([3.0]))
+        frozen = Parameter(np.array([0.0]))
+        frozen.requires_grad = False
+        opt = SGD([live, frozen], lr=1.0, max_grad_norm=1.0)
+        live.grad = np.array([3.0])
+        frozen.grad = np.array([4.0])
+        opt.step()
+        assert live.data[0] == pytest.approx(2.0)
+        assert frozen.data[0] == pytest.approx(0.0)
+
+    def test_frozen_grad_not_rescaled(self):
+        frozen = Parameter(np.array([0.0]))
+        frozen.requires_grad = False
+        live = Parameter(np.array([0.0]))
+        opt = SGD([live, frozen], lr=1.0, max_grad_norm=1.0)
+        live.grad = np.array([2.0])
+        frozen.grad = np.array([7.0])
+        opt.step()
+        assert frozen.grad[0] == pytest.approx(7.0)
+
+
+class TestBatchedSGD:
+    """The lockstep optimizer must track K independent eager SGDs."""
+
+    def _run_pair(self, **kwargs):
+        from repro.nn.optim import BatchedSGD
+
+        rng = np.random.default_rng(11)
+        k, shape = 3, (4, 2)
+        init = rng.standard_normal((k,) + shape)
+        grads_per_step = [rng.standard_normal((k,) + shape) for _ in range(4)]
+
+        eager_params = [Parameter(init[i].copy()) for i in range(k)]
+        eager_opts = [SGD([p], lr=0.1, **kwargs) for p in eager_params]
+        for grads in grads_per_step:
+            for i, (p, opt) in enumerate(zip(eager_params, eager_opts)):
+                p.grad = grads[i].copy()
+                opt.step()
+
+        stacks = {0: init.copy()}
+        batched = BatchedSGD(k, lr=0.1, **kwargs)
+        for grads in grads_per_step:
+            batched.step(stacks, {0: grads.copy()})
+
+        stacked_eager = np.stack([p.data for p in eager_params])
+        return stacked_eager, stacks[0]
+
+    def test_plain_sgd_parity_is_exact(self):
+        eager, batched = self._run_pair()
+        assert np.array_equal(eager, batched)
+
+    def test_momentum_weight_decay_parity(self):
+        eager, batched = self._run_pair(momentum=0.9, weight_decay=0.01, nesterov=True)
+        assert np.allclose(eager, batched, atol=1e-12)
+
+    def test_clip_parity_per_client(self):
+        eager, batched = self._run_pair(max_grad_norm=0.5)
+        assert np.allclose(eager, batched, atol=1e-12)
