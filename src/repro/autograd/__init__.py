@@ -35,8 +35,11 @@ from repro.autograd.tape import (
     PlanNotBatchable,
     Tape,
     get_kernel,
+    get_plan_optimize,
     kernel_mode,
+    plan_optimize_mode,
     set_kernel,
+    set_plan_optimize,
     tracing,
 )
 from repro.autograd import functional
@@ -55,8 +58,11 @@ __all__ = [
     "PlanNotBatchable",
     "Tape",
     "get_kernel",
+    "get_plan_optimize",
     "kernel_mode",
+    "plan_optimize_mode",
     "set_kernel",
+    "set_plan_optimize",
     "tracing",
     "functional",
 ]

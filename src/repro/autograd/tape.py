@@ -32,6 +32,8 @@ it, never the other way around.
 from __future__ import annotations
 
 import contextlib
+import weakref
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -91,6 +93,37 @@ def kernel_mode(kernel: str):
         yield
     finally:
         set_kernel(previous)
+
+
+# --------------------------------------------------------------------------- #
+# Plan-optimizer knob: same process-global shape as the kernel knob.  The
+# optimizer passes (planopt) are bit-for-bit with unoptimized replay, so this
+# only exists as an escape hatch / A-B lever for benches and tests.
+# --------------------------------------------------------------------------- #
+_PLAN_OPTIMIZE = True
+
+
+def get_plan_optimize() -> bool:
+    """Return whether newly compiled plans run the optimizer passes."""
+    return _PLAN_OPTIMIZE
+
+
+def set_plan_optimize(enabled: bool) -> bool:
+    """Set the process-wide plan-optimize flag; returns the previous value."""
+    global _PLAN_OPTIMIZE
+    previous = _PLAN_OPTIMIZE
+    _PLAN_OPTIMIZE = bool(enabled)
+    return previous
+
+
+@contextlib.contextmanager
+def plan_optimize_mode(enabled: bool):
+    """Context manager that temporarily switches the plan-optimize flag."""
+    previous = set_plan_optimize(enabled)
+    try:
+        yield
+    finally:
+        set_plan_optimize(previous)
 
 
 # --------------------------------------------------------------------------- #
@@ -336,7 +369,7 @@ class Plan:
     Compile before calling ``loss.backward()``: backward frees the graph.
     """
 
-    def __init__(self, tape: Tape, loss: Any) -> None:
+    def __init__(self, tape: Tape, loss: Any, optimize: Optional[bool] = None) -> None:
         self.tape = tape
         self.records = tape.records
         loss_slot = tape._slots.get(id(loss))
@@ -412,6 +445,14 @@ class Plan:
         self._batched_param_slots: Optional[frozenset] = None
         self._rng_objects: Optional[List[np.random.Generator]] = None
 
+        # Optimizer passes (DCE / liveness / arena / fusion): bit-for-bit with
+        # unoptimized replay, controlled by the process knob unless overridden.
+        self.opt = None
+        if optimize if optimize is not None else get_plan_optimize():
+            from repro.autograd import planopt  # local: planopt imports tape
+
+            self.opt = planopt.optimize_plan(self)
+
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
@@ -454,7 +495,14 @@ class Plan:
         Unspecified names default to the traced objects (so buffers keep
         updating in place and rng streams continue).  Returns the loss value
         and per-leaf-slot gradients, accumulated exactly as eager would.
+
+        When the plan was compiled with the optimizer passes, leaf gradients
+        are served from per-plan accumulator buffers that are overwritten by
+        the next ``execute`` call — consume (or copy) them before replaying
+        again.
         """
+        if self.opt is not None:
+            return self.opt.execute(bindings)
         env: List[Any] = [None] * self.n_slots
         for slot, param in self.param_leaves:
             env[slot] = param.data
@@ -620,6 +668,8 @@ class Plan:
             raise PlanError("call prepare_batched() before execute_batched()")
         if set(param_stacks) != set(self._batched_param_slots):
             raise PlanError("param_stacks does not match the prepared slot set")
+        if self.opt is not None:
+            return self.opt.execute_batched(k, bindings, param_stacks)
         env: List[Any] = [None] * self.n_slots
         stacked = self._batched_param_slots
         for slot, param in self.param_leaves:
@@ -712,34 +762,86 @@ class Plan:
 
 
 class PlanCache:
-    """Keyed plan store with hit/miss counters (one per local-SGD call)."""
+    """LRU-bounded keyed plan store with hit/miss/evict counters.
 
-    def __init__(self) -> None:
-        self._plans: Dict[Any, Plan] = {}
+    Shape-churn workloads (per-client batch remainders, growing populations)
+    previously grew the per-call cache without limit; the LRU bound keeps the
+    steady-state footprint flat while the counters surface cache behaviour
+    through :class:`~repro.federated.lockstep.LockstepTelemetry`.
+    """
+
+    def __init__(self, max_plans: int = 32) -> None:
+        if max_plans < 1:
+            raise ValueError("max_plans must be >= 1")
+        self._plans: "OrderedDict[Any, Any]" = OrderedDict()
+        self.max_plans = max_plans
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
-    def get(self, key: Any) -> Optional[Plan]:
+    def get(self, key: Any) -> Optional[Any]:
         plan = self._plans.get(key)
         if plan is None:
             self.misses += 1
         else:
             self.hits += 1
+            self._plans.move_to_end(key)
         return plan
 
-    def put(self, key: Any, plan: Plan) -> None:
+    def put(self, key: Any, plan: Any) -> None:
         self._plans[key] = plan
+        self._plans.move_to_end(key)
+        while len(self._plans) > self.max_plans:
+            self._plans.popitem(last=False)
+            self.evictions += 1
 
     def __len__(self) -> int:
         return len(self._plans)
 
 
+# Memoized fingerprints keyed by model identity.  The probe captures what the
+# full fingerprint depends on — parameter objects, their storage identity and
+# trainability — via the registration dicts (no name-string building), so a
+# swapped head, ``freeze()``/``unfreeze()`` or a ``Parameter.data`` rebind all
+# miss the memo and rebuild.  In-place ``data[...]`` updates (the SGD step)
+# keep ``id(p.data)`` stable, which is exactly the hot-path case the memo
+# serves.  A weakref finalizer evicts entries when the model is collected, so
+# ``id(model)`` reuse cannot alias a dead entry.
+_FINGERPRINTS: Dict[int, Tuple[Any, Tuple, Tuple]] = {}
+
+
+def _fingerprint_probe(model: Any) -> Tuple:
+    rows = []
+    stack = [model]
+    while stack:
+        module = stack.pop()
+        for p in module._parameters.values():
+            rows.append((id(p), id(p.data), p.requires_grad))
+        stack.extend(module._modules.values())
+    return tuple(rows)
+
+
 def model_fingerprint(model: Any) -> Tuple:
     """Structural identity of a model: (name, shape, dtype, trainable) rows."""
-    return tuple(
+    try:
+        probe = _fingerprint_probe(model)
+    except AttributeError:
+        # Not a Module-shaped object; fall back to the direct build.
+        return tuple(
+            (name, tuple(p.data.shape), str(p.data.dtype), bool(p.requires_grad))
+            for name, p in model.named_parameters()
+        )
+    key = id(model)
+    cached = _FINGERPRINTS.get(key)
+    if cached is not None and cached[1] == probe:
+        return cached[2]
+    fingerprint = tuple(
         (name, tuple(p.data.shape), str(p.data.dtype), bool(p.requires_grad))
         for name, p in model.named_parameters()
     )
+    ref = weakref.ref(model, lambda _ref, _key=key: _FINGERPRINTS.pop(_key, None))
+    _FINGERPRINTS[key] = (ref, probe, fingerprint)
+    return fingerprint
 
 
 def plan_key(model: Any, images: np.ndarray, labels: np.ndarray) -> Tuple:
@@ -1276,6 +1378,9 @@ __all__ = [
     "set_kernel",
     "kernel_mode",
     "KERNELS",
+    "get_plan_optimize",
+    "set_plan_optimize",
+    "plan_optimize_mode",
     "model_fingerprint",
     "plan_key",
 ]

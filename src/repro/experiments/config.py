@@ -140,6 +140,7 @@ def scaled_config(
     shard_cache: bool = True,
     dtype: str = "float64",
     kernel: str = "eager",
+    plan_optimize: bool = True,
     eval_executor: str = "serial",
     eval_every: int = 0,
     transport: str = "loopback",
@@ -172,7 +173,8 @@ def scaled_config(
     plane, default on), ``dtype`` (``"float64"`` / ``"float32"``), the
     kernel plane's ``kernel`` (``"eager"`` closure autograd / ``"tape"``
     compiled-plan replay, hash-identical to eager / ``"batched"`` lockstep
-    multi-client vectorization, serial-executor-only), the
+    multi-client vectorization, serial-executor-only) and ``plan_optimize``
+    (compile-time plan optimizer passes, bit-for-bit, default on), the
     evaluation plane's ``eval_executor`` (``"serial"`` / ``"parallel"``
     seen-task evaluation) and ``eval_every`` (mid-task evaluation every ``k``
     rounds, 0 = off), and the communication plane's ``transport``
@@ -240,6 +242,7 @@ def scaled_config(
         shard_cache=shard_cache,
         dtype=dtype,
         kernel=kernel,
+        plan_optimize=plan_optimize,
         eval_executor=eval_executor,
         eval_every=eval_every,
         transport=transport,

@@ -137,12 +137,16 @@ def _normalize_execution_knobs(federated: FederatedConfig) -> FederatedConfig:
     kernel = federated.kernel
     if kernel == "tape":
         kernel = "eager"
+    # ``plan_optimize`` folds unconditionally: optimized plan replay is
+    # bit-for-bit with unoptimized replay (hash-asserted by the kernel-plane
+    # tests), so the knob can never change a run's numbers under any kernel.
     return replace(
         federated,
         executor="serial",
         num_workers=0,
         shard_cache=True,
         kernel=kernel,
+        plan_optimize=True,
         eval_executor="serial",
         transport="loopback",
         codec=codec,

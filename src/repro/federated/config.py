@@ -67,6 +67,13 @@ class FederatedConfig:
         vectorized plan step per batch (:mod:`repro.federated.lockstep`) —
         exact in structure (same draws, same step counts) but tolerance-level
         in floats, and requires ``executor="serial"``.
+    plan_optimize:
+        Whether compiled plans run the compile-time optimizer passes
+        (:mod:`repro.autograd.planopt`): dead-code elimination, slot liveness
+        with a per-plan buffer arena, and elementwise fusion.  Optimized
+        replay is bit-for-bit with unoptimized replay (hash-asserted in the
+        test suite), so this is purely a performance lever — default on, and
+        folded out of the run-cache key.  Ignored under ``kernel="eager"``.
     eval_executor:
         How the seen-task evaluation suite runs: ``"serial"`` (historical
         in-process loop) or ``"parallel"`` (fan seen tasks × batch-aligned
@@ -230,6 +237,7 @@ class FederatedConfig:
     shard_cache: bool = True
     dtype: str = "float64"
     kernel: str = "eager"
+    plan_optimize: bool = True
     eval_executor: str = "serial"
     eval_every: int = 0
     transport: str = "loopback"

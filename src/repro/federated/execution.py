@@ -91,7 +91,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.autograd.tape import KERNELS, set_kernel
+from repro.autograd.tape import KERNELS, set_kernel, set_plan_optimize
 from repro.autograd.tensor import get_default_dtype, set_default_dtype
 from repro.continual.evaluator import EvalBackend, PredictFn, count_correct
 from repro.continual.scenario import Task
@@ -168,6 +168,7 @@ def _run_client_chunk(
     indexed_clients: Sequence[Tuple[int, ClientHandle]],
     dtype_name: str,
     kernel: str = "eager",
+    plan_optimize: bool = True,
 ) -> List[Tuple[int, ClientUpdate, Any]]:
     """Train one worker's share of the round's clients.
 
@@ -180,6 +181,7 @@ def _run_client_chunk(
     """
     set_default_dtype(dtype_name)
     set_kernel(kernel)
+    set_plan_optimize(plan_optimize)
     method: FederatedMethod = pickle.loads(method_blob)
     state, payload = deserialize_state(broadcast_blob)
     # numpy's writeable=False flag does not survive pickling; re-protect the
@@ -435,11 +437,25 @@ def _worker_main(worker_id: int, task_queue, result_queue) -> None:
             os._exit(int(payload))
         try:
             if kind == "train":
-                method_blob, broadcast_blob, items, shard_blobs, dtype_name, task_id, kernel = payload
+                (
+                    method_blob,
+                    broadcast_blob,
+                    items,
+                    shard_blobs,
+                    dtype_name,
+                    task_id,
+                    kernel,
+                    plan_optimize,
+                ) = payload
                 _install_shards(shard_blobs)
                 _evict_stale_shards(task_id)
                 results = _run_client_chunk(
-                    method_blob, broadcast_blob, _resolve_chunk(items), dtype_name, kernel
+                    method_blob,
+                    broadcast_blob,
+                    _resolve_chunk(items),
+                    dtype_name,
+                    kernel,
+                    plan_optimize,
                 )
             elif kind == "eval":
                 method_blob, broadcast_blob, items, shard_blobs, dtype_name = payload
@@ -752,12 +768,16 @@ class ParallelExecutor(Executor):
         shard_cache: bool = True,
         max_respawns: int = 0,
         kernel: str = "eager",
+        plan_optimize: bool = True,
     ) -> None:
         self.num_workers = max(1, num_workers if num_workers else (os.cpu_count() or 1))
         self.shard_cache = shard_cache
         #: Autograd kernel every train chunk runs under (``"eager"`` or
         #: ``"tape"``; the lockstep ``"batched"`` kernel is serial-only).
         self.kernel = kernel
+        #: Whether compiled plans inside the workers run the optimizer passes
+        #: (bit-for-bit with unoptimized replay; shipped with every chunk).
+        self.plan_optimize = plan_optimize
         #: Self-healing budget: how many dead workers this executor may
         #: replace over its lifetime before a death propagates as
         #: :class:`WorkerDiedError`.  ``0`` (the default) disables healing —
@@ -826,7 +846,16 @@ class ParallelExecutor(Executor):
             items.append((index, client.lighten(), ref))
         return (
             "train",
-            (method_blob, broadcast_blob, items, shard_blobs, dtype_name, task_id, self.kernel),
+            (
+                method_blob,
+                broadcast_blob,
+                items,
+                shard_blobs,
+                dtype_name,
+                task_id,
+                self.kernel,
+                self.plan_optimize,
+            ),
         )
 
     def _build_eval_message(
@@ -1235,8 +1264,14 @@ def build_executor(
     shard_cache: bool = True,
     max_respawns: int = 0,
     kernel: str = "eager",
+    plan_optimize: bool = True,
 ) -> Executor:
-    """Construct an executor from the :class:`FederatedConfig` knobs."""
+    """Construct an executor from the :class:`FederatedConfig` knobs.
+
+    ``plan_optimize`` only needs carrying by the parallel executor (it ships
+    with every train chunk); the in-process executors read the process-global
+    flag the simulation sets via ``plan_optimize_mode``.
+    """
     if kernel not in KERNELS:
         raise ValueError(f"unknown kernel {kernel!r}; choose one of {KERNELS}")
     if kernel == "batched":
@@ -1251,7 +1286,11 @@ def build_executor(
         return SerialExecutor()
     if executor == "parallel":
         return ParallelExecutor(
-            num_workers, shard_cache=shard_cache, max_respawns=max_respawns, kernel=kernel
+            num_workers,
+            shard_cache=shard_cache,
+            max_respawns=max_respawns,
+            kernel=kernel,
+            plan_optimize=plan_optimize,
         )
     raise ValueError(f"unknown executor {executor!r}; choose 'serial' or 'parallel'")
 

@@ -48,7 +48,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.autograd.tape import Plan, PlanError, PlanNotBatchable, Tape, tracing
+from repro.autograd.tape import Plan, PlanCache, PlanError, PlanNotBatchable, Tape, tracing
 from repro.federated.client import ClientHandle
 from repro.federated.communication import ClientUpdate
 from repro.federated.method import FederatedMethod
@@ -68,6 +68,9 @@ class LockstepTelemetry:
     lockstep_clients: int = 0  #: clients trained through a stacked plan
     fallback_clients: int = 0  #: clients that ran the per-client path
     plans_compiled: int = 0  #: distinct (group, batch shape) traces compiled
+    plan_cache_hits: int = 0  #: per-step plan lookups served from the LRU cache
+    plan_cache_misses: int = 0  #: lookups that had to trace + compile
+    plan_cache_evictions: int = 0  #: compiled plans dropped by the LRU bound
 
 
 def _method_is_eligible(method: FederatedMethod) -> bool:
@@ -93,9 +96,17 @@ def _group_key(client: ClientHandle) -> Tuple:
 
 
 class _CompiledStep:
-    """One traced batch shape: the plan plus its slot <-> parameter-name map."""
+    """One traced batch shape: the plan plus its slot <-> parameter-name map.
 
-    __slots__ = ("plan", "slot_to_name", "extra_stacks")
+    Also owns the per-shape replay scratch the step loop reuses instead of
+    reallocating: the stacked image/label input buffers (filled in place with
+    ``np.stack(..., out=...)`` each step) and the slot-keyed view of the
+    group's persistent parameter stacks (the stack arrays are updated in
+    place by :class:`~repro.nn.optim.BatchedSGD`, so the dict built once at
+    compile time stays valid for every later step).
+    """
+
+    __slots__ = ("plan", "slot_to_name", "extra_stacks", "images_buf", "labels_buf", "param_stacks")
 
     def __init__(
         self,
@@ -106,6 +117,9 @@ class _CompiledStep:
         self.plan = plan
         self.slot_to_name = slot_to_name
         self.extra_stacks = extra_stacks
+        self.images_buf: Optional[np.ndarray] = None
+        self.labels_buf: Optional[np.ndarray] = None
+        self.param_stacks: Optional[Dict[int, np.ndarray]] = None
 
 
 def _compile_step(
@@ -220,41 +234,57 @@ def _train_group_inner(
         max_grad_norm=training.max_grad_norm,
     )
 
-    compiled: Dict[Tuple, _CompiledStep] = {}
+    compiled = PlanCache()
+    buffer_bindings = {
+        f"buffer::{name}": stack for name, stack in buffer_stacks.items()
+    }
     loss_totals = np.zeros(k)
-    for step in range(n_steps):
-        images0, labels0 = per_client_steps[0][step]
-        shape_key = (images0.data.shape, str(images0.data.dtype), labels0.shape)
-        for steps in per_client_steps[1:]:
-            images_c, labels_c = steps[step]
-            if (images_c.data.shape, str(images_c.data.dtype), labels_c.shape) != shape_key:
-                raise PlanNotBatchable("clients in group drew unequal batch shapes")
-        entry = compiled.get(shape_key)
-        if entry is None:
-            entry = _compile_step(method, model, group[0][1], images0, labels0, k)
-            compiled[shape_key] = entry
-            telemetry.plans_compiled += 1
-        bindings: Dict[str, Any] = {
-            "images": np.stack([steps[step][0].data for steps in per_client_steps]),
-            "labels": np.stack([steps[step][1] for steps in per_client_steps]),
-        }
-        for name, stack in buffer_stacks.items():
-            bindings[f"buffer::{name}"] = stack
-        param_stacks = {
-            slot: param_stacks_by_name[name]
-            for slot, name in entry.slot_to_name.items()
-        }
-        param_stacks.update(entry.extra_stacks)
-        loss_vec, grads = entry.plan.execute_batched(k, bindings, param_stacks)
-        named_grads = {
-            entry.slot_to_name[slot]: grad
-            for slot, grad in grads.items()
-            if slot in entry.slot_to_name
-        }
-        optimizer.step(
-            {name: param_stacks_by_name[name] for name in named_grads}, named_grads
-        )
-        loss_totals += np.asarray(loss_vec).reshape(k)
+    try:
+        for step in range(n_steps):
+            images0, labels0 = per_client_steps[0][step]
+            shape_key = (images0.data.shape, str(images0.data.dtype), labels0.shape)
+            for steps in per_client_steps[1:]:
+                images_c, labels_c = steps[step]
+                if (images_c.data.shape, str(images_c.data.dtype), labels_c.shape) != shape_key:
+                    raise PlanNotBatchable("clients in group drew unequal batch shapes")
+            entry = compiled.get(shape_key)
+            if entry is None:
+                entry = _compile_step(method, model, group[0][1], images0, labels0, k)
+                compiled.put(shape_key, entry)
+                telemetry.plans_compiled += 1
+                entry.images_buf = np.empty(
+                    (k,) + images0.data.shape, dtype=images0.data.dtype
+                )
+                entry.labels_buf = np.empty((k,) + labels0.shape, dtype=labels0.dtype)
+                entry.param_stacks = {
+                    slot: param_stacks_by_name[name]
+                    for slot, name in entry.slot_to_name.items()
+                }
+                entry.param_stacks.update(entry.extra_stacks)
+            np.stack(
+                [steps[step][0].data for steps in per_client_steps],
+                out=entry.images_buf,
+            )
+            np.stack(
+                [steps[step][1] for steps in per_client_steps], out=entry.labels_buf
+            )
+            bindings: Dict[str, Any] = {
+                "images": entry.images_buf,
+                "labels": entry.labels_buf,
+            }
+            bindings.update(buffer_bindings)
+            loss_vec, grads = entry.plan.execute_batched(k, bindings, entry.param_stacks)
+            named_grads = {
+                entry.slot_to_name[slot]: grad
+                for slot, grad in grads.items()
+                if slot in entry.slot_to_name
+            }
+            optimizer.step(param_stacks_by_name, named_grads)
+            loss_totals += np.asarray(loss_vec).reshape(k)
+    finally:
+        telemetry.plan_cache_hits += compiled.hits
+        telemetry.plan_cache_misses += compiled.misses
+        telemetry.plan_cache_evictions += compiled.evictions
 
     # Unstack each client's slice back into the live model to build its
     # update exactly as the serial path would (state_dict copies, payload
