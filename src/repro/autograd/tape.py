@@ -32,6 +32,7 @@ it, never the other way around.
 from __future__ import annotations
 
 import contextlib
+import threading
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -219,24 +220,27 @@ class OpRecord:
 # --------------------------------------------------------------------------- #
 # Tape recording
 # --------------------------------------------------------------------------- #
-_ACTIVE_TAPE: Optional["Tape"] = None
+# Thread-local, not process-global: the serving plane traces forward plans on
+# its worker threads while a co-running training thread traces client steps,
+# and a shared global would splice one thread's ops into the other's tape.
+# Single-threaded behaviour is unchanged (one local slot, same lifecycle).
+_TRACING_STATE = threading.local()
 
 
 def active_tape() -> Optional["Tape"]:
-    return _ACTIVE_TAPE
+    return getattr(_TRACING_STATE, "tape", None)
 
 
 @contextlib.contextmanager
 def tracing(tape: "Tape"):
-    """Record every op applied in this context onto ``tape``."""
-    global _ACTIVE_TAPE
-    if _ACTIVE_TAPE is not None:
+    """Record every op applied in this context onto ``tape`` (this thread only)."""
+    if getattr(_TRACING_STATE, "tape", None) is not None:
         raise RuntimeError("nested tracing is not supported")
-    _ACTIVE_TAPE = tape
+    _TRACING_STATE.tape = tape
     try:
         yield tape
     finally:
-        _ACTIVE_TAPE = None
+        _TRACING_STATE.tape = None
 
 
 class Tape:

@@ -22,6 +22,7 @@ base.
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -32,22 +33,28 @@ from repro.autograd.tape import Op, OpContext, unbroadcast
 Number = Union[int, float]
 ArrayLike = Union[Number, Sequence, np.ndarray, "Tensor"]
 
-_GRAD_ENABLED = True
+#: Grad mode and the active compute dtype are *thread-local*, not
+#: process-global: the serving plane's worker threads run ``no_grad``
+#: forwards (under their snapshot's dtype) concurrently with a training
+#: thread that needs gradients on, and shared globals would let one
+#: thread's mode bleed into the other's step.  Each thread starts at the
+#: defaults (grad on, float64) — identical to the old single-threaded
+#: behaviour.
+_MODE_STATE = threading.local()
 
-#: The active compute dtype: process-global state read through
-#: :func:`get_default_dtype` and switched with :func:`set_default_dtype` /
-#: the :func:`default_dtype` context manager.  Gradient checking should run
-#: under ``default_dtype(np.float64)``.
-_DEFAULT_DTYPE = np.dtype(np.float64)
+
+def _grad_enabled() -> bool:
+    return getattr(_MODE_STATE, "grad_enabled", True)
 
 
 def get_default_dtype() -> np.dtype:
     """Return the dtype newly created tensors (and parameters) use."""
-    return _DEFAULT_DTYPE
+    dtype = getattr(_MODE_STATE, "default_dtype", None)
+    return dtype if dtype is not None else np.dtype(np.float64)
 
 
 def set_default_dtype(dtype) -> np.dtype:
-    """Set the process-wide compute dtype (``float32`` or ``float64``).
+    """Set this thread's compute dtype (``float32`` or ``float64``).
 
     Everything downstream of tensor creation — weight initialisation, dataset
     batches, optimiser state — picks the dtype up from here, so switching to
@@ -55,12 +62,11 @@ def set_default_dtype(dtype) -> np.dtype:
     checking should stay at float64 (wrap it in ``default_dtype(np.float64)``).
     Returns the previous dtype so callers can restore it.
     """
-    global _DEFAULT_DTYPE
     resolved = np.dtype(dtype)
     if resolved.kind != "f":
         raise ValueError(f"default dtype must be a float dtype, got {resolved}")
-    previous = _DEFAULT_DTYPE
-    _DEFAULT_DTYPE = resolved
+    previous = get_default_dtype()
+    _MODE_STATE.default_dtype = resolved
     return previous
 
 
@@ -75,26 +81,25 @@ def default_dtype(dtype):
 
 
 def is_grad_enabled() -> bool:
-    """Return whether gradient recording is currently enabled."""
-    return _GRAD_ENABLED
+    """Return whether gradient recording is currently enabled (this thread)."""
+    return _grad_enabled()
 
 
 @contextlib.contextmanager
 def no_grad():
     """Context manager that disables graph recording (like ``torch.no_grad``)."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    previous = _grad_enabled()
+    _MODE_STATE.grad_enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _MODE_STATE.grad_enabled = previous
 
 
 def _as_array(value: ArrayLike, dtype=None) -> np.ndarray:
     if isinstance(value, Tensor):
         return value.data
-    array = np.asarray(value, dtype=dtype if dtype is not None else _DEFAULT_DTYPE)
+    array = np.asarray(value, dtype=dtype if dtype is not None else get_default_dtype())
     return array
 
 
@@ -119,7 +124,7 @@ class Tensor:
     ) -> None:
         self.data = _as_array(data)
         self.grad: Optional[np.ndarray] = None
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and _grad_enabled()
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._parents: Tuple["Tensor", ...] = ()
         self._pending_grad: Optional[np.ndarray] = None
@@ -178,7 +183,7 @@ class Tensor:
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
         parents = tuple(p for p in parents if isinstance(p, Tensor))
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = _grad_enabled() and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._parents = tuple(p for p in parents if p.requires_grad)
@@ -450,11 +455,11 @@ class Tensor:
 
     @staticmethod
     def zeros(shape, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.zeros(shape, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)
+        return Tensor(np.zeros(shape, dtype=get_default_dtype()), requires_grad=requires_grad)
 
     @staticmethod
     def ones(shape, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.ones(shape, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)
+        return Tensor(np.ones(shape, dtype=get_default_dtype()), requires_grad=requires_grad)
 
     @staticmethod
     def randn(*shape, rng: Optional[np.random.Generator] = None, requires_grad: bool = False) -> "Tensor":
@@ -463,7 +468,7 @@ class Tensor:
 
     @staticmethod
     def from_numpy(array: np.ndarray, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.asarray(array, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)
+        return Tensor(np.asarray(array, dtype=get_default_dtype()), requires_grad=requires_grad)
 
 
 # --------------------------------------------------------------------------- #

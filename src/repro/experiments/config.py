@@ -157,7 +157,12 @@ def scaled_config(
     retry_backoff: float = 0.5,
     checkpoint_every: int = 0,
     checkpoint_dir: str = "",
+    checkpoint_keep: int = 0,
     resume: bool = False,
+    serve: bool = False,
+    publish_every: int = 0,
+    registry_dir: str = "",
+    serve_codec: str = "identity",
     virtual_clients: bool = False,
     population: int = 0,
     reduce_backend: str = "flat",
@@ -191,8 +196,13 @@ def scaled_config(
     unlimited), and the fault plane's ``faults`` (a
     :class:`~repro.federated.faults.FaultSpec` schedule, None = no faults),
     ``retries`` / ``retry_backoff`` (upload retry bound and backoff seconds),
-    and ``checkpoint_every`` / ``checkpoint_dir`` / ``resume`` (crash-safe
-    checkpoint cadence, location and relaunch behaviour), and the hierarchy
+    and ``checkpoint_every`` / ``checkpoint_dir`` / ``checkpoint_keep`` /
+    ``resume`` (crash-safe checkpoint cadence, location, retention and
+    relaunch behaviour), the serving plane's ``serve`` / ``publish_every`` /
+    ``registry_dir`` / ``serve_codec`` (online inference with a versioned
+    model registry: whether to run a live front end, mid-task publish
+    cadence, where versions land, and the snapshot compression codec), and
+    the hierarchy
     plane's ``virtual_clients`` (lazy ``(seed, partition-spec)`` client
     recipes, materialized per cohort), ``population`` (fleet size for
     schedule-free virtual populations, 0 = schedule-driven),
@@ -259,7 +269,12 @@ def scaled_config(
         retry_backoff=retry_backoff,
         checkpoint_every=checkpoint_every,
         checkpoint_dir=checkpoint_dir,
+        checkpoint_keep=checkpoint_keep,
         resume=resume,
+        serve=serve,
+        publish_every=publish_every,
+        registry_dir=registry_dir,
+        serve_codec=serve_codec,
         virtual_clients=virtual_clients,
         population=population,
         reduce_backend=reduce_backend,

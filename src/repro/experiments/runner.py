@@ -160,7 +160,17 @@ def _normalize_execution_knobs(federated: FederatedConfig) -> FederatedConfig:
         retry_backoff=retry_backoff,
         checkpoint_every=0,
         checkpoint_dir="",
+        checkpoint_keep=0,
         resume=False,
+        # Serving-plane knobs fold for the same reason checkpoints do: the
+        # registry and the front end *observe* the run (snapshot publishes,
+        # read-only inference on frozen copies) without touching its
+        # trajectory, and the serving tests assert served logits are
+        # bit-for-bit with direct evaluation.
+        serve=False,
+        publish_every=0,
+        registry_dir="",
+        serve_codec="identity",
         virtual_clients=virtual_clients,
         tree_fanout=tree_fanout,
     )

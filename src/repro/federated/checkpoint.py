@@ -83,6 +83,49 @@ def latest_checkpoint(directory: str) -> Optional[str]:
     return os.path.join(directory, best_name)
 
 
+def retain_last(items: list, keep: int) -> Tuple[list, list]:
+    """Split an oldest-first list into ``(kept, pruned)`` under a last-K policy.
+
+    ``keep=0`` retains everything.  This is the single retention rule shared
+    by checkpoint pruning and the serving plane's registry: both order their
+    artifacts oldest-first and keep only the newest ``keep``.
+    """
+    if keep < 0:
+        raise ValueError("keep must be non-negative (0 retains everything)")
+    if keep == 0 or len(items) <= keep:
+        return list(items), []
+    return list(items[-keep:]), list(items[:-keep])
+
+
+def prune_checkpoints(directory: str, keep: int) -> list:
+    """Delete all but the newest ``keep`` checkpoints; returns removed paths.
+
+    Ordering follows the resume-position encoded in each file name (exactly
+    what :func:`latest_checkpoint` maximises), so the pruned prefix is the
+    oldest resume points.  Deletion happens strictly after the caller's newest
+    checkpoint is durably on disk (each ``os.remove`` is atomic), so a crash
+    mid-prune can only leave *extra* old checkpoints, never zero.
+    """
+    if keep == 0 or not directory or not os.path.isdir(directory):
+        return []
+    named = []
+    for name in os.listdir(directory):
+        position = parse_checkpoint_name(name)
+        if position is not None:
+            named.append((position, name))
+    named.sort()
+    _, pruned = retain_last([name for _, name in named], keep)
+    removed = []
+    for name in pruned:
+        path = os.path.join(directory, name)
+        try:
+            os.remove(path)
+        except FileNotFoundError:
+            continue
+        removed.append(path)
+    return removed
+
+
 def save_checkpoint(path: str, payload: Dict[str, Any]) -> None:
     """Atomically write ``payload`` to ``path`` (tmp + fsync + rename)."""
     blob = zlib.compress(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
@@ -126,11 +169,24 @@ def load_checkpoint(path: str) -> Dict[str, Any]:
 def config_fingerprint(config: Any) -> str:
     """Digest of everything in the config that affects simulation trajectory.
 
-    Checkpoint bookkeeping knobs (where/how often to save, whether to resume)
-    are masked out so the kill-and-resume flow — which necessarily differs in
-    exactly those knobs — still matches the fingerprint of the original run.
+    Checkpoint bookkeeping knobs (where/how often to save, how many to keep,
+    whether to resume) are masked out so the kill-and-resume flow — which
+    necessarily differs in exactly those knobs — still matches the fingerprint
+    of the original run.  The serving plane's publish knobs are masked for the
+    same reason: publishing versions observes a run without changing its
+    trajectory, so a served run and a silent run share one fingerprint.
     """
-    masked = replace(config, checkpoint_every=0, checkpoint_dir="", resume=False)
+    masked = replace(
+        config,
+        checkpoint_every=0,
+        checkpoint_dir="",
+        checkpoint_keep=0,
+        resume=False,
+        serve=False,
+        publish_every=0,
+        registry_dir="",
+        serve_codec="identity",
+    )
     return hashlib.sha256(repr(masked).encode("utf-8")).hexdigest()
 
 
@@ -163,6 +219,8 @@ __all__ = [
     "checkpoint_name",
     "parse_checkpoint_name",
     "latest_checkpoint",
+    "retain_last",
+    "prune_checkpoints",
     "save_checkpoint",
     "load_checkpoint",
     "config_fingerprint",

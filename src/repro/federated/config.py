@@ -193,6 +193,36 @@ class FederatedConfig:
         bookkeeping knobs excluded); a fresh directory silently starts from
         scratch, so the same command line works for the first launch and
         every relaunch after a crash.
+    checkpoint_keep:
+        Retention bound on ``ckpt-*.ckpt`` files: after every checkpoint
+        write, all but the newest K are pruned (oldest resume positions
+        first, each removal atomic).  ``0`` (default) keeps every checkpoint
+        — the historical unbounded behaviour.  The serving plane's registry
+        applies the same last-K policy to published versions.
+    serve:
+        Stand up the serving plane alongside training: an
+        :class:`~repro.serving.engine.InferenceEngine` plus
+        :class:`~repro.serving.service.ServingFrontEnd` (exposed as
+        ``simulation.serving``) serve predictions from the registry while the
+        run publishes into it, hot-swapping at every publish.  Requires
+        ``registry_dir``.  Purely observational: trained numbers are
+        bit-for-bit identical with serving on or off.
+    publish_every:
+        Sync mode: additionally publish a registry version every N rounds
+        within a task (``0``, the default, publishes only at task
+        boundaries).  Requires ``registry_dir``.  Task-boundary versions are
+        published in every mode whenever ``registry_dir`` is set.
+    registry_dir:
+        Directory of the serving plane's model registry
+        (:mod:`repro.serving.registry`).  Empty (default) disables publishing
+        entirely — the simulation then performs zero extra work, preserving
+        bit-for-bit identity.
+    serve_codec:
+        Wire codec published versions are compressed with — the same specs as
+        ``codec`` (``"identity"`` / ``"delta"`` lossless, ``"quantize8"`` /
+        ``"quantize16"`` / ``"topk[:f]"`` lossy).  A version stores its
+        *encoded* form, so every consumer of a version decodes the same
+        arrays deterministically.
     virtual_clients:
         Client identity becomes a lazy *recipe* instead of an eager object
         (:mod:`repro.federated.virtual`): shards are materialized only for
@@ -255,6 +285,11 @@ class FederatedConfig:
     checkpoint_every: int = 0
     checkpoint_dir: str = ""
     resume: bool = False
+    checkpoint_keep: int = 0
+    serve: bool = False
+    publish_every: int = 0
+    registry_dir: str = ""
+    serve_codec: str = "identity"
     virtual_clients: bool = False
     population: int = 0
     reduce_backend: str = "flat"
@@ -351,6 +386,27 @@ class FederatedConfig:
             )
         if self.resume and not self.checkpoint_dir:
             raise ValueError("resume requires checkpoint_dir")
+        if self.checkpoint_keep < 0:
+            raise ValueError(
+                "checkpoint_keep must be non-negative (0 keeps every checkpoint)"
+            )
+        if self.publish_every < 0:
+            raise ValueError(
+                "publish_every must be non-negative (0 publishes only at task boundaries)"
+            )
+        if self.publish_every > 0 and not self.registry_dir:
+            raise ValueError("publish_every requires registry_dir")
+        if self.publish_every > 0 and self.mode != "sync":
+            raise ValueError(
+                "publish_every requires mode='sync' (the event-driven modes "
+                "have no mid-task round boundary to publish at; task-boundary "
+                "versions are still published in every mode via registry_dir)"
+            )
+        if self.serve and not self.registry_dir:
+            raise ValueError(
+                "serve requires registry_dir (the front end serves registry versions)"
+            )
+        build_codec(self.serve_codec)  # raises ValueError on an unknown codec spec
         if self.population < 0:
             raise ValueError(
                 "population must be non-negative (0 means the increment "

@@ -42,6 +42,7 @@ from repro.federated.checkpoint import (
     config_fingerprint,
     latest_checkpoint,
     load_checkpoint,
+    prune_checkpoints,
     save_checkpoint,
 )
 from repro.federated.aggregation import build_reduce_backend
@@ -67,6 +68,9 @@ from repro.federated.sampling import (
 from repro.federated.server import FederatedServer
 from repro.federated.virtual import VirtualClientPlane
 from repro.federated.transport import _flatten_message, _split_message, build_transport
+from repro.serving.engine import InferenceEngine
+from repro.serving.registry import ModelRegistry
+from repro.serving.service import ServingFrontEnd
 from repro.utils.logging_utils import get_logger
 from repro.utils.rng import spawn_rng
 from repro.utils.timing import Timer
@@ -107,6 +111,11 @@ class SimulationResult:
     #: path a resumed run started at, or None).  Empty when the fault plane
     #: and checkpointing are both off.
     fault_stats: Dict[str, object] = field(default_factory=dict)
+    #: The serving plane's accounting: ``versions_published``, the final
+    #: registry manifest summary, and — with ``serve=True`` — the front end's
+    #: per-version request/latency telemetry.  Empty when ``registry_dir`` is
+    #: unset.
+    serving_stats: Dict[str, object] = field(default_factory=dict)
 
 
 def _mean_update_metrics(updates: List[ClientUpdate]) -> Dict[str, float]:
@@ -263,6 +272,23 @@ class FederatedDomainIncrementalSimulation:
         #: which checkpoint file (if any) this run resumed from.
         self.checkpoints_written = 0
         self._resumed_from: Optional[str] = None
+        # The serving plane: with registry_dir set, the run publishes
+        # versioned snapshots (task boundaries + every publish_every rounds);
+        # with serve=True additionally, a front end over an inference engine
+        # serves them concurrently, hot-swapping at every publish.  Both are
+        # observational — trained numbers are identical with serving off.
+        self.registry: Optional[ModelRegistry] = None
+        self.serving: Optional[ServingFrontEnd] = None
+        self.versions_published = 0
+        if config.registry_dir:
+            self.registry = ModelRegistry(config.registry_dir, keep=config.checkpoint_keep)
+            if config.serve:
+                engine = InferenceEngine(
+                    self.registry,
+                    method,
+                    kernel="tape" if config.kernel == "tape" else "eager",
+                )
+                self.serving = ServingFrontEnd(engine).start()
 
     # ------------------------------------------------------------------ #
     # Data assignment per task
@@ -624,6 +650,20 @@ class FederatedDomainIncrementalSimulation:
                     "sim_time": self.clock.now,
                 }
             )
+        if (
+            self.registry is not None
+            and self.config.publish_every > 0
+            and (round_index + 1) % self.config.publish_every == 0
+        ):
+            # Attach the freshest accuracy snapshot when this very round was
+            # just evaluated (publish_every aligned with eval_every); versions
+            # between evaluations publish without one.
+            snapshot_acc: Optional[Dict[str, float]] = None
+            if self.round_eval_history:
+                last = self.round_eval_history[-1]
+                if last["task_id"] == task.task_id and last["round_index"] == round_index:
+                    snapshot_acc = dict(last["accuracies"])  # type: ignore[arg-type]
+            self._publish_version(task.task_id, round_index + 1, snapshot_acc)
 
     # ------------------------------------------------------------------ #
     # Checkpoint / resume
@@ -680,6 +720,54 @@ class FederatedDomainIncrementalSimulation:
         save_checkpoint(path, self._checkpoint_payload(start_task, start_round))
         self.checkpoints_written += 1
         logger.debug("wrote checkpoint %s", path)
+        if self.config.checkpoint_keep > 0:
+            # Retention after the new snapshot is durable: a crash mid-prune
+            # leaves extra old checkpoints, never fewer than checkpoint_keep.
+            prune_checkpoints(self.config.checkpoint_dir, self.config.checkpoint_keep)
+
+    # ------------------------------------------------------------------ #
+    # Serving plane
+    # ------------------------------------------------------------------ #
+    def _publish_version(
+        self, task_id: int, round_index: int, accuracies: Optional[Dict[str, float]] = None
+    ) -> None:
+        """Publish the current global model (+ broadcast payload) as a version.
+
+        Mirrors the checkpoint payload's durable core — state and payload
+        flattened through the method's own ``payload_codec()`` — but through
+        the registry's codec-compressed, manifest-indexed container, and
+        notifies a co-running front end so it hot-swaps at its next batch
+        boundary.
+        """
+        if self.registry is None:
+            return
+        self.registry.publish(
+            name=self.method.name,
+            state=self.server.global_state,
+            payload=self.server.broadcast_payload,
+            payload_codec=self.method.payload_codec(),
+            codec=self.config.serve_codec,
+            task_id=task_id,
+            round_index=round_index,
+            fingerprint=config_fingerprint(self.config),
+            accuracy=accuracies,
+        )
+        self.versions_published += 1
+        if self.serving is not None:
+            self.serving.notify_publish()
+
+    def _serving_stats(self) -> Dict[str, object]:
+        if self.registry is None:
+            return {}
+        stats: Dict[str, object] = {
+            "versions_published": self.versions_published,
+            "versions_retained": len(self.registry.list_versions()),
+        }
+        latest = self.registry.latest()
+        stats["latest_version"] = latest.version if latest is not None else None
+        if self.serving is not None:
+            stats["frontend"] = self.serving.telemetry()
+        return stats
 
     def _restore(self, payload: Dict[str, object]) -> None:
         """Load a checkpoint payload into this (freshly constructed) simulation."""
@@ -836,6 +924,11 @@ class FederatedDomainIncrementalSimulation:
                     )
                     if self.config.checkpoint_dir:
                         self._write_checkpoint(task.task_id + 1, 0)
+                    if self.registry is not None:
+                        # Task boundaries always publish: this is the snapshot
+                        # the paper's evaluation protocol scores, so it is the
+                        # one a serving fleet should converge to.
+                        self._publish_version(task.task_id + 1, 0, dict(results))
                     logger.info(
                         "[%s] task %d (%s): %s",
                         self.method.name,
@@ -858,6 +951,7 @@ class FederatedDomainIncrementalSimulation:
             sim_time=self.clock.now,
             event_log=self.event_log,
             fault_stats=self._fault_stats(),
+            serving_stats=self._serving_stats(),
         )
 
     def close(self) -> None:
@@ -873,13 +967,19 @@ class FederatedDomainIncrementalSimulation:
         tasks manually via :meth:`run_task`.
         """
         try:
-            self.transport.finalize()
+            if self.serving is not None:
+                # Drain-then-stop: every request accepted before this point is
+                # answered (on whichever version it was batched under).
+                self.serving.stop()
         finally:
             try:
-                self.executor.close()
+                self.transport.finalize()
             finally:
-                if self._owns_eval_executor and self.eval_executor is not None:
-                    self.eval_executor.close()
+                try:
+                    self.executor.close()
+                finally:
+                    if self._owns_eval_executor and self.eval_executor is not None:
+                        self.eval_executor.close()
 
     def __enter__(self) -> "FederatedDomainIncrementalSimulation":
         return self
